@@ -1,0 +1,137 @@
+// Package aquatope_bench exposes every evaluation experiment (§8 of the
+// paper) as a testing.B benchmark, one per table/figure, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation at quick scale. Each benchmark reports
+// its headline metrics through b.ReportMetric, so orderings are visible
+// straight from the bench output; run cmd/aquabench for the full tables.
+package aquatope_bench
+
+import (
+	"testing"
+
+	"aquatope/internal/experiments"
+)
+
+// benchScale is deliberately small: benchmarks demonstrate and measure the
+// harnesses; cmd/aquabench -scale full reproduces the paper-scale runs.
+var benchScale = experiments.Scale{
+	TraceMin: 2160, TrainMin: 1440,
+	Ensemble: 3, Repeats: 2, SearchBudget: 36, ModelEpochs: 4, Seed: 1,
+}
+
+// tinyScale is for the heavier neural-model experiments.
+var tinyScale = experiments.Scale{
+	TraceMin: 1560, TrainMin: 1440,
+	Ensemble: 2, Repeats: 1, SearchBudget: 12, ModelEpochs: 2, Seed: 1,
+}
+
+func BenchmarkTable1Smape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(tinyScale)
+		b.ReportMetric(r.SMAPE["aquatope"], "aquatope-smape-%")
+		b.ReportMetric(r.SMAPE["keepalive"], "keepalive-smape-%")
+	}
+}
+
+func BenchmarkFig9ColdStarts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(tinyScale)
+		b.ReportMetric(r.ColdRate["aquatope"]*100, "aquatope-cold-%")
+		b.ReportMetric(r.ColdRate["keepalive"]*100, "keepalive-cold-%")
+		b.ReportMetric(r.RelMemPct["aquatope"], "aquatope-mem-%keep")
+	}
+}
+
+func BenchmarkFig10ColdVsCV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(tinyScale)
+		last := len(r.CVs) - 1
+		b.ReportMetric(r.Aquatope[last]*100, "aquatope-cold-highCV-%")
+		b.ReportMetric(r.IceBrk[last]*100, "icebreaker-cold-highCV-%")
+	}
+}
+
+func BenchmarkFig11MemorySeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(tinyScale)
+		b.ReportMetric(r.AquatopeCold*100, "aquatope-cold-%")
+		b.ReportMetric(r.AquaLiteCold*100, "aqualite-cold-%")
+	}
+}
+
+func BenchmarkFig12Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(benchScale)
+		// Final-budget cost of the chain workflow, % oracle.
+		if c := r.Curves["chain3"]; c != nil {
+			b.ReportMetric(c["aquatope"][len(c["aquatope"])-1]*100, "aquatope-chain3-%oracle")
+			b.ReportMetric(c["random"][len(c["random"])-1]*100, "random-chain3-%oracle")
+		}
+	}
+}
+
+func BenchmarkFig13FinalCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13(benchScale)
+		if m := r.CPUPct["chain3"]; m != nil {
+			b.ReportMetric(m["aquatope"], "aquatope-cpu-%oracle")
+			b.ReportMetric(m["autoscale"], "autoscale-cpu-%oracle")
+		}
+	}
+}
+
+func BenchmarkFig14aChainLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14a(benchScale)
+		last := len(r.Labels) - 1
+		b.ReportMetric(r.Aquatope[last], "aquatope-N5-%oracle")
+		b.ReportMetric(r.CLITE[last], "clite-N5-%oracle")
+	}
+}
+
+func BenchmarkFig14bExecVariability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14b(benchScale)
+		last := len(r.Labels) - 1
+		b.ReportMetric(r.Aquatope[last], "aquatope-cv1-%oracle")
+		b.ReportMetric(r.CLITE[last], "clite-cv1-%oracle")
+	}
+}
+
+func BenchmarkFig15NoiseRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig15(benchScale)
+		last := len(r.Levels) - 1
+		b.ReportMetric(r.Aquatope[last], "aquatope-noise4-%oracle")
+		b.ReportMetric(r.CLITE[last], "clite-noise4-%oracle")
+	}
+}
+
+func BenchmarkFig16Retraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig16(benchScale)
+		b.ReportMetric(float64(r.ChangeEvents), "change-events")
+		if rec := r.RecoverySamples(50); rec >= 0 {
+			b.ReportMetric(float64(rec), "recovery-samples")
+		}
+	}
+}
+
+func BenchmarkFig17PoolAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig17(tinyScale)
+		b.ReportMetric(r.RMOnlyCPU/r.FullCPU*100, "rmonly-cpu-%full")
+		b.ReportMetric(r.RMOnlyMem/r.FullMem*100, "rmonly-mem-%full")
+	}
+}
+
+func BenchmarkFig18EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig18(tinyScale)
+		b.ReportMetric(r.Violation["aquatope"]*100, "aquatope-viol-%")
+		b.ReportMetric(r.Violation["autoscale"]*100, "autoscale-viol-%")
+		b.ReportMetric(r.CPUTime["aquatope"]/r.CPUTime["autoscale"]*100, "aquatope-cpu-%auto")
+	}
+}

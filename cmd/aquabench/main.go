@@ -1,0 +1,93 @@
+// Command aquabench regenerates every table and figure of the paper's
+// evaluation (§8). Each experiment prints the same rows/series the paper
+// reports; absolute numbers come from the simulated substrate, so compare
+// shapes and orderings, not raw values (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	aquabench -exp table1            # one experiment
+//	aquabench -exp all               # everything
+//	aquabench -exp fig13 -scale full # paper-scale repetitions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aquatope/internal/experiments"
+)
+
+var experimentOrder = []string{
+	"table1", "fig9", "fig10", "fig11", "fig12", "fig13",
+	"fig14a", "fig14b", "fig15", "fig16", "fig17", "fig18",
+	"ablation-batch", "ablation-headroom", "ablation-mc",
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, fig9..fig18, all)")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick | full")
+	seed := flag.Int64("seed", 1, "global random seed")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleName == "full" {
+		scale = experiments.Full
+	}
+	scale.Seed = *seed
+
+	runners := map[string]func() string{
+		"table1":            func() string { return experiments.Table1(scale).Table() },
+		"fig9":              func() string { return experiments.Fig9(scale).Table() },
+		"fig10":             func() string { return experiments.Fig10(scale).Table() },
+		"fig11":             func() string { return experiments.Fig11(scale).Table() },
+		"fig12":             func() string { return experiments.Fig12(scale).Table() },
+		"fig13":             func() string { return experiments.Fig13(scale).Table() },
+		"fig14a":            func() string { return experiments.Fig14a(scale).Table() },
+		"fig14b":            func() string { return experiments.Fig14b(scale).Table() },
+		"fig15":             func() string { return experiments.Fig15(scale).Table() },
+		"fig16":             func() string { return experiments.Fig16(scale).Table() },
+		"fig17":             func() string { return experiments.Fig17(scale).Table() },
+		"fig18":             func() string { return experiments.Fig18(scale).Table() },
+		"ablation-batch":    func() string { return experiments.AblationBatchSize(scale).Table() },
+		"ablation-headroom": func() string { return experiments.AblationHeadroom(scale).Table() },
+		"ablation-mc":       func() string { return experiments.AblationMCSamples(scale).Table() },
+	}
+
+	titles := map[string]string{
+		"table1":            "Table 1: prediction accuracy (SMAPE)",
+		"fig9":              "Fig 9: cold starts and provisioned memory per pool policy",
+		"fig10":             "Fig 10: cold starts vs workload CV (IceBreaker vs Aquatope)",
+		"fig11":             "Fig 11: pool memory over time (Aquatope vs AquaLite)",
+		"fig12":             "Fig 12: cost vs search budget per workflow and manager",
+		"fig13":             "Fig 13: final CPU/memory time vs Oracle",
+		"fig14a":            "Fig 14a: cost vs chain length (CLITE vs Aquatope)",
+		"fig14b":            "Fig 14b: cost vs execution-time variability",
+		"fig15":             "Fig 15: robustness to irregular cloud noise",
+		"fig16":             "Fig 16: adaptation to workload behaviour changes",
+		"fig17":             "Fig 17: resource manager with vs without the pre-warm pool",
+		"fig18":             "Fig 18: end-to-end comparison of full frameworks",
+		"ablation-batch":    "Ablation: BO batch size q (cost vs rounds)",
+		"ablation-headroom": "Ablation: pool uncertainty headroom z (cold vs memory)",
+		"ablation-mc":       "Ablation: MC-dropout passes T",
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = experimentOrder
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", *exp, experimentOrder)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", titles[id])
+		fmt.Print(runners[id]())
+		fmt.Printf("(%s, scale=%s, %.1fs)\n\n", id, *scaleName, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,130 @@
+// Command aquatope runs the full Aquatope scheduler (pre-warmed container
+// pool + container resource manager) over one of the paper's five
+// applications on the simulated FaaS platform, and reports QoS compliance,
+// cold-start rate and execution cost against a chosen baseline framework.
+//
+// Usage:
+//
+//	aquatope -app mlpipeline -system aquatope
+//	aquatope -app socialnet -system icebreaker+clite -minutes 2880
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/core"
+	"aquatope/internal/faas"
+	"aquatope/internal/pool"
+	"aquatope/internal/trace"
+)
+
+func buildApp(name string, seed int64) *apps.App {
+	switch name {
+	case "chain":
+		return apps.NewChain(3)
+	case "fanout":
+		return apps.NewFanOutFanIn()
+	case "mlpipeline":
+		return apps.NewMLPipeline()
+	case "videoproc":
+		return apps.NewVideoProcessing()
+	case "socialnet":
+		return apps.NewSocialNetwork(nil)
+	default:
+		return nil
+	}
+}
+
+func main() {
+	appName := flag.String("app", "mlpipeline", "application: chain | fanout | mlpipeline | videoproc | socialnet")
+	system := flag.String("system", "aquatope", "framework: aquatope | aqualite | autoscale | icebreaker+clite | keepalive")
+	minutes := flag.Int("minutes", 2160, "trace length in minutes")
+	trainMin := flag.Int("train", 1440, "training prefix in minutes")
+	budget := flag.Int("budget", 30, "resource-search profiling budget")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	app := buildApp(*appName, *seed)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	tr := trace.Synthesize(trace.GenConfig{
+		DurationMin:          *minutes,
+		MeanRatePerMin:       0.8,
+		Diurnal:              0.6,
+		CV:                   2,
+		BurstEpisodesPerHour: 1,
+		BurstDurationMin:     10,
+		BurstMultiplier:      6,
+		Seed:                 *seed,
+	})
+
+	cfg := core.Config{
+		Components:   []core.Component{{App: app, Trace: tr}},
+		TrainMin:     *trainMin,
+		SearchBudget: *budget,
+		ProfileNoise: faas.Noise{GaussianStd: 0.15, OutlierRate: 0.02, OutlierScale: 3},
+		RuntimeNoise: faas.Noise{GaussianStd: 0.1, OutlierRate: 0.01, OutlierScale: 3},
+		Seed:         *seed,
+	}
+	switch *system {
+	case "aquatope":
+		cfg.PoolFactory = aquaPool(false)
+		cfg.ManagerFactory = core.AquatopeManagerFactory()
+	case "aqualite":
+		cfg.PoolFactory = aquaPool(true)
+		cfg.ManagerFactory = core.AquatopeManagerFactory()
+	case "autoscale":
+		cfg.PoolFactory = core.AutoscalePoolFactory()
+		cfg.ManagerFactory = core.AutoscaleManagerFactory()
+	case "icebreaker+clite":
+		cfg.PoolFactory = core.IceBreakerPoolFactory()
+		cfg.ManagerFactory = core.CLITEManagerFactory()
+	case "keepalive":
+		cfg.PoolFactory = core.KeepAlivePoolFactory(600)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	fmt.Printf("running %s under %s: %d invocations over %d min (train %d min)\n",
+		app.Name, *system, len(tr.Arrivals), *minutes, *trainMin)
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+	ar := res.PerApp[app.Name]
+	fmt.Printf("\nworkflows completed:   %d\n", ar.Workflows)
+	fmt.Printf("QoS (%.2fs) violations: %.1f%%\n", app.QoS, ar.ViolationRate()*100)
+	fmt.Printf("cold-start rate:       %.1f%%\n", res.ColdStartRate()*100)
+	fmt.Printf("mean latency:          %.2fs\n", ar.MeanLatency)
+	fmt.Printf("CPU time:              %.1f core-s\n", ar.CPUTime)
+	fmt.Printf("memory time:           %.1f GB-s\n", ar.MemTime)
+	fmt.Printf("provisioned memory:    %.1f GB-s\n", res.ProvisionedMemGBs)
+	if len(ar.ChosenConfig) > 0 {
+		fmt.Println("\nchosen configuration:")
+		for _, fn := range app.FunctionNames() {
+			c := ar.ChosenConfig[fn]
+			fmt.Printf("  %-16s cpu=%.2g mem=%.0fMB\n", fn, c.CPU, c.MemoryMB)
+		}
+	}
+}
+
+func aquaPool(lite bool) core.PolicyFactory {
+	return func(fn string) pool.Policy {
+		cfg := pool.DefaultModelConfig(trace.FeatureDim)
+		cfg.EncoderHidden = 20
+		cfg.PredHidden = []int{20, 10}
+		cfg.EncoderEpochs = 8
+		cfg.PredEpochs = 24
+		cfg.MCSamples = 12
+		cfg.LR = 0.01
+		return &pool.Aquatope{ModelConfig: cfg, Window: 40, HeadroomZ: 2.5, Lite: lite}
+	}
+}

@@ -1,0 +1,70 @@
+// ML pipeline example: the parking-lot security backend of the paper's
+// Fig. 6 (image processing → object detection → parallel vehicle/human
+// recognition) under a camera-like diurnal trace. The example contrasts
+// the Aquatope resource manager's chosen configuration against the naive
+// "give every function the same resources" approach, showing why per-stage
+// allocation matters.
+//
+// Run with:
+//
+//	go run ./examples/mlpipeline
+package main
+
+import (
+	"fmt"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/faas"
+	"aquatope/internal/resource"
+)
+
+func main() {
+	app := apps.NewMLPipeline()
+	fmt.Printf("ML pipeline: %d stages, QoS %.1fs\n", len(app.DAG.Stages()), app.QoS)
+	fmt.Println("stages:", app.FunctionNames())
+
+	space := resource.NewSpace(app)
+	prof := resource.NewProfiler(app, 7)
+	prof.Noise = faas.Noise{GaussianStd: 0.15, OutlierRate: 0.02, OutlierScale: 3}
+
+	// Uniform allocations: the provider-default mindset.
+	fmt.Println("\nuniform allocations (cpu/mem identical for all stages):")
+	for _, level := range []struct {
+		cpu float64
+		mem float64
+	}{{0.5, 512}, {1, 1024}, {2, 2048}, {4, 4096}} {
+		cfgs := make(map[string]faas.ResourceConfig)
+		for _, fn := range app.FunctionNames() {
+			cfgs[fn] = faas.ResourceConfig{CPU: level.cpu, MemoryMB: level.mem}
+		}
+		cost, lat := prof.SampleNoiseless(cfgs, 3)
+		status := "meets QoS"
+		if lat > app.QoS {
+			status = "VIOLATES QoS"
+		}
+		fmt.Printf("  cpu=%.1f mem=%4.0fMB  cost=%6.2f  latency=%5.2fs  %s\n",
+			level.cpu, level.mem, cost, lat, status)
+	}
+
+	// Aquatope: customized BO with independent cost/latency surrogates.
+	fmt.Println("\nAquatope resource search (36 profiled samples):")
+	m := resource.NewAquatope(space, prof, app.QoS, 11)
+	costs, samples := resource.Search(m, 36)
+	for i := range costs {
+		fmt.Printf("  after %2d samples: best feasible cost %.2f\n", samples[i], costs[i])
+	}
+	cfgs, _, ok := m.Best()
+	if !ok {
+		fmt.Println("no feasible configuration found")
+		return
+	}
+	cost, lat := prof.SampleNoiseless(cfgs, 4)
+	fmt.Printf("\nchosen configuration (true cost %.2f, latency %.2fs <= QoS %.1fs):\n", cost, lat, app.QoS)
+	for _, fn := range app.FunctionNames() {
+		c := cfgs[fn]
+		fmt.Printf("  %-14s cpu=%.2g mem=%.0fMB\n", fn, c.CPU, c.MemoryMB)
+	}
+	fmt.Println("\nnote how object detection gets the large allocation while")
+	fmt.Println("image processing runs on a fraction of it — the per-stage")
+	fmt.Println("diversity the paper's §2.2 motivates.")
+}

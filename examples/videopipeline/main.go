@@ -1,0 +1,116 @@
+// Video pipeline example: the Sprocket-style framework of the paper's
+// Fig. 7 — decode, scene-change detection, per-chunk face recognition /
+// box drawing / watermarking fan-out, final encode — demonstrating the
+// dynamic pre-warmed container pool on a bursty upload pattern and the
+// cascading cold starts it prevents.
+//
+// Run with:
+//
+//	go run ./examples/videopipeline
+package main
+
+import (
+	"fmt"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/faas"
+	"aquatope/internal/pool"
+	"aquatope/internal/sim"
+	"aquatope/internal/stats"
+	"aquatope/internal/trace"
+	"aquatope/internal/workflow"
+)
+
+// replay runs the video workflow over the trace with the given pool
+// policy; metrics cover the post-training window.
+func replay(app *apps.App, tr *trace.Trace, factory func(fn string) pool.Policy, trainMin int, seed int64) (coldRate float64, memGBs float64, meanLat float64) {
+	eng := sim.NewEngine()
+	cl := faas.NewCluster(eng, faas.Config{Seed: seed})
+	if err := app.Register(cl); err != nil {
+		panic(err)
+	}
+	ex := workflow.NewExecutor(cl)
+	rng := stats.NewRNG(seed)
+	trainCut := float64(trainMin) * 60
+
+	var lats []float64
+	var cold, inv int
+	for _, at := range tr.Arrivals {
+		at := at
+		eng.Schedule(at, func() {
+			input := app.Input(rng)
+			widths := app.Widths(rng)
+			_ = ex.Execute(app.DAG, input, widths, func(r workflow.Result) {
+				if r.SubmitTime < trainCut {
+					return
+				}
+				lats = append(lats, r.Latency())
+				cold += r.ColdStarts
+				inv += r.Invocations
+			})
+		})
+	}
+
+	mgr := pool.NewManager(cl)
+	mgr.ApplyAfter = trainCut
+	policies := make(map[string]pool.Policy)
+	for _, fn := range app.FunctionNames() {
+		p := factory(fn)
+		policies[fn] = p
+		mgr.Manage(fn, p, 0)
+	}
+	mgr.Start()
+	eng.Schedule(trainCut, func() {
+		for fn, p := range policies {
+			p.Fit(pool.FitData{
+				Demand: mgr.History(fn),
+				FeatFn: func(i int) []float64 { return tr.Features(i) },
+			})
+		}
+	})
+	var provBase float64
+	eng.Schedule(trainCut, func() { provBase = cl.Metrics().ProvisionedMemTime })
+	eng.RunUntil(float64(tr.DurationMin)*60 + 300)
+	cl.Flush()
+
+	if inv > 0 {
+		coldRate = float64(cold) / float64(inv)
+	}
+	return coldRate, cl.Metrics().ProvisionedMemTime - provBase, stats.Mean(lats)
+}
+
+func main() {
+	app := apps.NewVideoProcessing()
+	fmt.Printf("video pipeline: %d stages (chunk fan-out 2-8), QoS %.1fs\n",
+		len(app.DAG.Stages()), app.QoS)
+
+	// Upload bursts: videos arrive in episodes (e.g. after events).
+	tr := trace.Synthesize(trace.GenConfig{
+		DurationMin:          2160,
+		MeanRatePerMin:       0.3,
+		Diurnal:              0.6,
+		CV:                   2,
+		BurstEpisodesPerHour: 1,
+		BurstDurationMin:     12,
+		BurstMultiplier:      8,
+		Seed:                 3,
+	})
+	fmt.Printf("trace: %d uploads over %d min\n\n", len(tr.Arrivals), tr.DurationMin)
+
+	keepCold, keepMem, keepLat := replay(app, tr,
+		func(fn string) pool.Policy { return &pool.FixedKeepAlive{Duration: 600} }, 1440, 1)
+	fmt.Printf("fixed keep-alive:  cold=%5.1f%%  provisioned=%7.0f GB-s  latency=%.2fs\n",
+		keepCold*100, keepMem, keepLat)
+
+	aquaCold, aquaMem, aquaLat := replay(app, tr, func(fn string) pool.Policy {
+		cfg := pool.DefaultModelConfig(trace.FeatureDim)
+		cfg.EncoderEpochs, cfg.PredEpochs = 6, 18
+		return &pool.Aquatope{ModelConfig: cfg, Window: 40, HeadroomZ: 2.5}
+	}, 1440, 1)
+	fmt.Printf("aquatope pool:     cold=%5.1f%%  provisioned=%7.0f GB-s  latency=%.2fs\n",
+		aquaCold*100, aquaMem, aquaLat)
+
+	fmt.Println("\nwith six dependent stages, one missed container cascades into")
+	fmt.Println("multi-stage cold starts (§2.2); the predictive pool keeps the")
+	fmt.Println("whole pipeline warm just ahead of each upload burst.")
+}

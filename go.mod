@@ -1,0 +1,3 @@
+module aquatope
+
+go 1.22

@@ -1,0 +1,501 @@
+// Package bayesnn implements the paper's hybrid Bayesian neural network
+// (§4.2): an LSTM encoder-decoder pretrained to reconstruct the upcoming
+// invocation windows, whose final encoder hidden state is the latent
+// variable Z; and a multi-layer-perceptron prediction network that maps
+// Z concatenated with external features (time of day, day of week, trigger
+// type) to the number of containers needed in the next window. Monte-Carlo
+// dropout — variational in the encoder, standard in the prediction network —
+// turns T stochastic forward passes into a predictive mean and variance.
+package bayesnn
+
+import (
+	"math"
+
+	"aquatope/internal/nn"
+	"aquatope/internal/stats"
+)
+
+// Config controls the model architecture and training schedule. The zero
+// value is not usable; call DefaultConfig and override fields as needed.
+type Config struct {
+	Input         int   // features per timestep of the history window
+	EncoderHidden int   // paper: 64
+	DecoderHidden int   // paper: 16
+	EncoderLayers int   // paper: 2 (stacked)
+	PredHidden    []int // hidden sizes of the 3-layer tanh prediction MLP
+	ExtDim        int   // external feature dimension
+	Horizon       int   // decoder reconstruction horizon k
+	DropoutRate   float64
+	MCSamples     int // T forward passes for the predictive distribution
+	LR            float64
+	EncoderEpochs int
+	PredEpochs    int
+	// FineTuneEncoder lets phase-2 gradients flow into the encoder at a
+	// reduced rate instead of freezing it. On sparse spiky series the
+	// reconstruction pretraining alone leaves the latent underinformative;
+	// fine-tuning recovers the paper's accuracy at our smaller data scale
+	// (see DESIGN.md).
+	FineTuneEncoder bool
+	// SpikeWeight up-weights samples with large targets during phase 2,
+	// countering the zero-dominated class imbalance of sparse demand
+	// series. 0 disables.
+	SpikeWeight float64
+	// PredictDelta regresses the difference between the target and the
+	// last history count instead of the absolute value. Residual learning
+	// anchors the model at the persistence forecast and lets it learn
+	// corrections — disable for targets not on the count scale.
+	PredictDelta bool
+	// HeteroscedasticCounts models the aleatoric variance as proportional
+	// to the predicted count (Poisson-like dispersion) instead of a
+	// global constant, so the uncertainty headroom collapses in predicted-
+	// quiet periods and widens around predicted activity.
+	HeteroscedasticCounts bool
+	Seed                  int64
+}
+
+// DefaultConfig returns the paper-scale architecture.
+func DefaultConfig(input, extDim int) Config {
+	return Config{
+		Input:           input,
+		EncoderHidden:   64,
+		DecoderHidden:   16,
+		EncoderLayers:   2,
+		PredHidden:      []int{32, 16},
+		ExtDim:          extDim,
+		Horizon:         4,
+		DropoutRate:     0.1,
+		MCSamples:       20,
+		LR:              0.005,
+		EncoderEpochs:   30,
+		PredEpochs:      60,
+		FineTuneEncoder: true,
+		SpikeWeight:     1,
+		PredictDelta:    true,
+		Seed:            1,
+	}
+}
+
+// Sample is one training example: a history window of per-minute feature
+// vectors, the future target values over the decoder horizon, the external
+// feature vector for the next window, and the prediction target (number of
+// containers needed in the next window).
+type Sample struct {
+	History  [][]float64
+	Future   []float64
+	External []float64
+	Target   float64
+}
+
+// Model is the hybrid Bayesian network. Construct with New, fit with Train,
+// and query with Predict.
+type Model struct {
+	cfg     Config
+	rng     *stats.RNG
+	encoder *nn.LSTMStack
+	bridgeH *nn.Dense // encoder latent -> decoder initial hidden
+	decoder *nn.LSTM
+	decOut  *nn.Dense // decoder hidden -> scalar reconstruction
+	pred    *nn.MLP
+
+	// Target standardization fitted during Train.
+	yMean, yStd float64
+	// External-feature standardization fitted during Train (per dim).
+	extMean, extStd []float64
+	// History-count standardization (raw scale).
+	histMean, histStd float64
+	// residStd is the aleatoric (inherent-noise) standard deviation
+	// estimated from training residuals, following Zhu & Laptev (2017):
+	// the predictive uncertainty combines MC-dropout epistemic variance
+	// with this residual variance.
+	residStd float64
+	// dispersion is the count-noise factor φ with Var ≈ φ·mean, fitted
+	// from residuals when HeteroscedasticCounts is set.
+	dispersion float64
+	trained    bool
+}
+
+// New constructs an untrained model.
+func New(cfg Config) *Model {
+	if cfg.Input <= 0 || cfg.EncoderHidden <= 0 || cfg.DecoderHidden <= 0 {
+		panic("bayesnn: invalid config")
+	}
+	if cfg.MCSamples <= 0 {
+		cfg.MCSamples = 1
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	m := &Model{cfg: cfg, rng: rng, yStd: 1}
+	m.encoder = nn.NewLSTMStack("enc", cfg.Input, cfg.EncoderHidden, cfg.EncoderLayers, rng)
+	m.bridgeH = nn.NewDense("bridge", cfg.EncoderHidden, cfg.DecoderHidden, nn.Tanh, rng)
+	m.decoder = nn.NewLSTM("dec", 1, cfg.DecoderHidden, rng)
+	m.decOut = nn.NewDense("decOut", cfg.DecoderHidden, 1, nn.Identity, rng)
+	sizes := append([]int{cfg.EncoderHidden + cfg.ExtDim}, cfg.PredHidden...)
+	sizes = append(sizes, 1)
+	m.pred = nn.NewMLP("pred", sizes, nn.Tanh, cfg.DropoutRate, rng)
+	return m
+}
+
+// Trained reports whether Train completed at least once.
+func (m *Model) Trained() bool { return m.trained }
+
+// encoderMasks samples fresh variational dropout masks, one input and one
+// recurrent mask per encoder layer, reused across all timesteps of a
+// sequence (Gal & Ghahramani 2016).
+func (m *Model) encoderMasks() (mxs, mhs []nn.DropoutMask) {
+	for _, l := range m.encoder.Layers {
+		mxs = append(mxs, nn.NewDropoutMask(l.In, m.cfg.DropoutRate, m.rng))
+		mhs = append(mhs, nn.NewDropoutMask(l.Hidden, m.cfg.DropoutRate, m.rng))
+	}
+	return mxs, mhs
+}
+
+// encode runs the encoder over a (already scaled) history and returns Z.
+// When train is true, variational dropout masks are applied.
+func (m *Model) encode(history [][]float64, train bool) []float64 {
+	var mxs, mhs []nn.DropoutMask
+	if train && m.cfg.DropoutRate > 0 {
+		mxs, mhs = m.encoderMasks()
+	}
+	m.encoder.ForwardSeq(history, mxs, mhs)
+	return m.encoder.FinalHidden()
+}
+
+// Train fits the encoder-decoder (phase 1) and then the prediction network
+// (phase 2) on the samples. It is safe to call again for retraining; the
+// model parameters continue from their current values.
+func (m *Model) Train(samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	// Fit target standardization over the regression targets; history
+	// counts are scaled with the same statistics, shifted to the raw mean.
+	var ys, raw []float64
+	for _, s := range samples {
+		ys = append(ys, m.target(s))
+		raw = append(raw, s.Target)
+	}
+	_, m.yMean, m.yStd = stats.Standardize(ys)
+	_, m.histMean, m.histStd = stats.Standardize(raw)
+	m.fitExtScaling(samples)
+
+	m.trainEncoderDecoder(samples)
+	m.trainPredictionNetwork(samples)
+	m.estimateResidualStd(samples)
+	m.trained = true
+}
+
+// estimateResidualStd measures the aleatoric noise floor as the standard
+// deviation of deterministic-prediction residuals over the training set,
+// plus (when enabled) the Poisson-like dispersion φ with Var ≈ φ·mean.
+func (m *Model) estimateResidualStd(samples []Sample) {
+	var sq, dispNum, dispDen float64
+	n := 0
+	for _, s := range samples {
+		pred := m.PredictDeterministic(s.History, s.External)
+		d := s.Target - pred
+		sq += d * d
+		n++
+		dispNum += d * d
+		dispDen += math.Max(pred, 0.1)
+	}
+	if n > 1 {
+		m.residStd = math.Sqrt(sq / float64(n))
+	}
+	if dispDen > 0 {
+		m.dispersion = dispNum / dispDen
+	}
+}
+
+// fitExtScaling computes per-dimension standardization of the external
+// features; unnormalized features (e.g. recency in log-minutes) would
+// saturate the prediction network's tanh units.
+func (m *Model) fitExtScaling(samples []Sample) {
+	if len(samples) == 0 || len(samples[0].External) == 0 {
+		m.extMean, m.extStd = nil, nil
+		return
+	}
+	d := len(samples[0].External)
+	m.extMean = make([]float64, d)
+	m.extStd = make([]float64, d)
+	col := make([]float64, len(samples))
+	for j := 0; j < d; j++ {
+		for i, s := range samples {
+			col[i] = s.External[j]
+		}
+		_, m.extMean[j], m.extStd[j] = stats.Standardize(col)
+	}
+}
+
+func (m *Model) scaleExt(ext []float64) []float64 {
+	if m.extMean == nil || len(ext) != len(m.extMean) {
+		return ext
+	}
+	out := make([]float64, len(ext))
+	for j, v := range ext {
+		out[j] = (v - m.extMean[j]) / m.extStd[j]
+	}
+	return out
+}
+
+func (m *Model) scaleY(y float64) float64   { return (y - m.yMean) / m.yStd }
+func (m *Model) unscaleY(y float64) float64 { return y*m.yStd + m.yMean }
+
+// lastCount returns the final history step's count channel (raw units).
+func lastCount(history [][]float64) float64 {
+	if len(history) == 0 || len(history[len(history)-1]) == 0 {
+		return 0
+	}
+	return history[len(history)-1][0]
+}
+
+// target converts a sample's absolute target to the regression target
+// (delta from the persistence forecast when PredictDelta is set).
+func (m *Model) target(s Sample) float64 {
+	if m.cfg.PredictDelta {
+		return s.Target - lastCount(s.History)
+	}
+	return s.Target
+}
+
+// scaleHistory standardizes the count channel (feature 0) of a history
+// window with the raw-count statistics, leaving other channels as-is.
+func (m *Model) scaleHistory(history [][]float64) [][]float64 {
+	std := m.histStd
+	if std == 0 {
+		std = 1
+	}
+	out := make([][]float64, len(history))
+	for t, row := range history {
+		r := append([]float64(nil), row...)
+		if len(r) > 0 {
+			r[0] = (r[0] - m.histMean) / std
+		}
+		out[t] = r
+	}
+	return out
+}
+
+// trainEncoderDecoder pretrains the autoencoder: encoder consumes the
+// history; the decoder, initialized from a learned bridge of Z,
+// autoregressively reconstructs the next Horizon target values with
+// teacher forcing.
+func (m *Model) trainEncoderDecoder(samples []Sample) {
+	params := append(m.encoder.Params(), m.bridgeH.Params()...)
+	params = append(params, m.decoder.Params()...)
+	params = append(params, m.decOut.Params()...)
+	opt := nn.NewAdam(m.cfg.LR, params)
+
+	for epoch := 0; epoch < m.cfg.EncoderEpochs; epoch++ {
+		order := m.rng.Perm(len(samples))
+		for _, idx := range order {
+			s := samples[idx]
+			if len(s.Future) == 0 {
+				continue
+			}
+			history := m.scaleHistory(s.History)
+			z := m.encode(history, true)
+			h0 := m.bridgeH.Forward(z)
+
+			// Decoder inputs are zeros: the reconstruction must flow
+			// entirely through the latent bridge, otherwise teacher
+			// forcing lets the decoder shortcut into an autoregressive
+			// copy and the encoder receives no training signal.
+			k := len(s.Future)
+			if k > m.cfg.Horizon {
+				k = m.cfg.Horizon
+			}
+			xs := make([][]float64, k)
+			for t := 0; t < k; t++ {
+				xs[t] = []float64{0}
+			}
+			hs := m.decoder.ForwardSeq(xs, h0, nil, nil, nil)
+
+			// Per-step output loss (raw-count scale).
+			dhs := make([][]float64, k)
+			std := m.histStd
+			if std == 0 {
+				std = 1
+			}
+			for t := 0; t < k; t++ {
+				pred := m.decOut.Forward(hs[t])
+				_, g := nn.MSELoss(pred, []float64{(s.Future[t] - m.histMean) / std})
+				dhs[t] = m.decOut.Backward(g)
+			}
+			_, dh0, _ := m.decoder.BackwardSeq(dhs, nil, nil)
+			dz := m.bridgeH.Backward(dh0)
+			m.encoder.BackwardSeq(nil, dz, nil)
+			opt.Step(1)
+		}
+	}
+}
+
+// trainPredictionNetwork trains the MLP on Z ⊕ external features → target,
+// with the encoder frozen (used as a feature-extraction black box, per the
+// paper) but with variational dropout still active so the prediction network
+// learns under the same stochasticity used at inference time.
+func (m *Model) trainPredictionNetwork(samples []Sample) {
+	params := m.pred.Params()
+	var encOpt *nn.Adam
+	if m.cfg.FineTuneEncoder {
+		encOpt = nn.NewAdam(m.cfg.LR, m.encoder.Params())
+	}
+	opt := nn.NewAdam(m.cfg.LR, params)
+	m.pred.Train = true
+	// Precompute sample weights against zero-dominated imbalance.
+	weights := make([]float64, len(samples))
+	for i, s := range samples {
+		weights[i] = 1
+		if m.cfg.SpikeWeight > 0 {
+			weights[i] += m.cfg.SpikeWeight * math.Abs(m.scaleY(m.target(s)))
+		}
+	}
+	for epoch := 0; epoch < m.cfg.PredEpochs; epoch++ {
+		order := m.rng.Perm(len(samples))
+		for _, idx := range order {
+			s := samples[idx]
+			z := m.encode(m.scaleHistory(s.History), true)
+			in := concat(z, m.scaleExt(s.External))
+			pred := m.pred.Forward(in)
+			_, g := nn.MSELoss(pred, []float64{m.scaleY(m.target(s))})
+			for j := range g {
+				g[j] *= weights[idx]
+			}
+			dIn := m.pred.Backward(g)
+			opt.Step(1)
+			if encOpt != nil {
+				dz := dIn[:len(z)]
+				m.encoder.BackwardSeq(nil, dz, nil)
+				encOpt.Step(1)
+			}
+		}
+	}
+}
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// Prediction is a predictive distribution from MC dropout.
+type Prediction struct {
+	Mean float64
+	Std  float64 // epistemic uncertainty from the T stochastic passes
+}
+
+// UpperBound returns mean + z*std, the pool manager's conservative sizing
+// target.
+func (p Prediction) UpperBound(z float64) float64 { return p.Mean + z*p.Std }
+
+// Predict returns the predictive mean and uncertainty for the next window
+// given a history and external features, using MCSamples stochastic forward
+// passes with dropout active (MC dropout approximate Bayesian inference).
+func (m *Model) Predict(history [][]float64, external []float64) Prediction {
+	scaled := m.scaleHistory(history)
+	m.pred.Train = m.cfg.DropoutRate > 0
+	T := m.cfg.MCSamples
+	if m.cfg.DropoutRate == 0 {
+		T = 1
+	}
+	ext := m.scaleExt(external)
+	base := 0.0
+	if m.cfg.PredictDelta {
+		base = lastCount(history)
+	}
+	outs := make([]float64, T)
+	for t := 0; t < T; t++ {
+		z := m.encode(scaled, m.cfg.DropoutRate > 0)
+		y := m.pred.Forward(concat(z, ext))[0]
+		outs[t] = base + m.unscaleY(y)
+	}
+	mean := stats.Mean(outs)
+	epistemic := stats.Variance(outs)
+	// Total predictive std: epistemic (MC dropout) + aleatoric. The
+	// aleatoric term is either a global residual variance or, for count
+	// targets, a dispersion term proportional to the predicted mean so
+	// quiet periods carry little headroom.
+	aleatoric := m.residStd * m.residStd
+	if m.cfg.HeteroscedasticCounts {
+		// Count-dispersion variance, floored at a quarter of the global
+		// residual variance so imminent-but-unpredicted activity retains
+		// some headroom.
+		floor := 0.25 * m.residStd * m.residStd
+		aleatoric = math.Max(m.dispersion*math.Max(mean, 0), floor)
+	}
+	std := math.Sqrt(epistemic + aleatoric)
+	return Prediction{Mean: mean, Std: std}
+}
+
+// PredictDeterministic runs a single pass with dropout disabled; this is
+// the "AquaLite" ablation from the paper's Fig. 11 (no uncertainty
+// estimation).
+func (m *Model) PredictDeterministic(history [][]float64, external []float64) float64 {
+	scaled := m.scaleHistory(history)
+	m.pred.Train = false
+	z := m.encode(scaled, false)
+	y := m.pred.Forward(concat(z, m.scaleExt(external)))[0]
+	base := 0.0
+	if m.cfg.PredictDelta {
+		base = lastCount(history)
+	}
+	return base + m.unscaleY(y)
+}
+
+// PredictSeries applies Predict over a sliding window on a full series,
+// returning aligned predictions for indices [window, len(series)).
+// extFn supplies external features for target index i.
+func (m *Model) PredictSeries(series []float64, window int, featFn func(i int) []float64, extFn func(i int) []float64) []Prediction {
+	var out []Prediction
+	for i := window; i < len(series); i++ {
+		hist := make([][]float64, window)
+		for t := 0; t < window; t++ {
+			idx := i - window + t
+			hist[t] = append([]float64{series[idx]}, featFn(idx)...)
+		}
+		out = append(out, m.Predict(hist, extFn(i)))
+	}
+	return out
+}
+
+// BuildSamples converts a scalar series into supervised samples with the
+// given history window and decoder horizon. featFn provides per-timestep
+// auxiliary features appended after the count channel; extFn provides the
+// external feature vector for the prediction target index.
+func BuildSamples(series []float64, window, horizon int, featFn func(i int) []float64, extFn func(i int) []float64) []Sample {
+	var samples []Sample
+	for i := window; i+horizon <= len(series); i++ {
+		hist := make([][]float64, window)
+		for t := 0; t < window; t++ {
+			idx := i - window + t
+			hist[t] = append([]float64{series[idx]}, featFn(idx)...)
+		}
+		fut := append([]float64(nil), series[i:i+horizon]...)
+		samples = append(samples, Sample{
+			History:  hist,
+			Future:   fut,
+			External: extFn(i),
+			Target:   series[i],
+		})
+	}
+	return samples
+}
+
+// Uncertainty calibration helper: fraction of actuals falling inside the
+// mean ± z*std predictive interval.
+func Coverage(preds []Prediction, actual []float64, z float64) float64 {
+	n := len(preds)
+	if len(actual) < n {
+		n = len(actual)
+	}
+	if n == 0 {
+		return 0
+	}
+	in := 0
+	for i := 0; i < n; i++ {
+		lo := preds[i].Mean - z*preds[i].Std
+		hi := preds[i].Mean + z*preds[i].Std
+		if actual[i] >= lo && actual[i] <= hi {
+			in++
+		}
+	}
+	return float64(in) / float64(n)
+}

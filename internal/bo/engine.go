@@ -1,0 +1,587 @@
+// Package bo implements the paper's customized Bayesian optimization
+// (§5.3) for per-function resource allocation, together with the baselines
+// it is evaluated against.
+//
+// The Aquatope engine differs from conventional BO in the three ways the
+// paper describes:
+//
+//  1. Noise awareness: fixed-noise Matérn-5/2 GP surrogates and a noisy
+//     expected-improvement acquisition integrated with quasi-Monte-Carlo
+//     samples (Letham et al. 2019), so the incumbent best is never assumed
+//     to be observed noiselessly. Irregular (non-Gaussian) outliers are
+//     pruned by leave-one-out diagnostic GPs.
+//  2. Proactive QoS handling: an independent latency GP predicts end-to-end
+//     performance, and candidates are filtered and weighted by their
+//     probability of satisfying the QoS constraint (Gardner et al. 2014)
+//     rather than penalized after the fact.
+//  3. Batch sampling: a greedy q-point selection with per-sample fantasy
+//     bookkeeping selects BatchSize candidates per iteration.
+//
+// All optimization happens over the normalized unit cube [0,1]^Dim; callers
+// map coordinates to concrete CPU/memory/concurrency settings.
+package bo
+
+import (
+	"math"
+
+	"aquatope/internal/gp"
+	"aquatope/internal/qmc"
+	"aquatope/internal/stats"
+)
+
+// Observation is one profiled resource configuration: the normalized
+// configuration, its measured execution cost and end-to-end latency.
+type Observation struct {
+	X       []float64
+	Cost    float64
+	Latency float64
+}
+
+// Acquisition selects the acquisition function family.
+type Acquisition int
+
+const (
+	// NEI is constrained noisy expected improvement with QMC integration
+	// (the Aquatope default).
+	NEI Acquisition = iota
+	// EI is classic expected improvement assuming noiseless observations
+	// (used by the AquaLite ablation).
+	EI
+)
+
+// Config parameterizes the engine. Zero values are replaced by the paper's
+// defaults in New.
+type Config struct {
+	Dim       int     // dimensionality of the normalized config space
+	QoS       float64 // end-to-end latency constraint
+	BatchSize int     // candidates sampled per iteration (paper: 3)
+	Bootstrap int     // random configs before the model kicks in
+	MCSamples int     // QMC samples for the acquisition integral
+	// CandidatePool is the number of Sobol candidate points scored per
+	// suggestion round.
+	CandidatePool int
+	// FeasibilityFloor prunes candidates whose probability of meeting QoS
+	// is below this value, provided at least one candidate passes.
+	FeasibilityFloor float64
+	// AnomalyZ is the leave-one-out z-score beyond which an observation is
+	// labeled an anomaly (paper: 95% interval, z = 1.96).
+	AnomalyZ float64
+	// NoiseVar is the fixed observation-noise variance (standardized
+	// units) of the GP surrogates.
+	NoiseVar float64
+	// Acquisition selects NEI (default) or plain EI.
+	Acquisition Acquisition
+	// DisableAnomalyDetection turns off outlier pruning (AquaLite).
+	DisableAnomalyDetection bool
+	// SlidingWindow keeps only the most recent N observations when
+	// refitting (0 = keep all); used by incremental retraining.
+	SlidingWindow int
+	// ChangeBurst: if this many consecutive recent observations are all
+	// anomalous, the engine declares a behaviour change and drops history
+	// older than the burst (incremental retraining, §5.3).
+	ChangeBurst int
+	// HyperfitEvery refits GP hyperparameters every N observations.
+	HyperfitEvery int
+	Seed          int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 3
+	}
+	if c.Bootstrap <= 0 {
+		c.Bootstrap = 5
+	}
+	if c.MCSamples <= 0 {
+		c.MCSamples = 128
+	}
+	if c.CandidatePool <= 0 {
+		c.CandidatePool = 128
+	}
+	if c.FeasibilityFloor <= 0 {
+		c.FeasibilityFloor = 0.25
+	}
+	if c.AnomalyZ <= 0 {
+		// Wider than the paper's 95% interval: the screen rejects points
+		// before they enter the fit, so a tight gate would also discard
+		// genuinely surprising (good) discoveries. Interference outliers
+		// in FaaS are multiples of the signal and still exceed this.
+		c.AnomalyZ = 3.5
+	}
+	if c.NoiseVar <= 0 {
+		c.NoiseVar = 0.01
+	}
+	if c.ChangeBurst <= 0 {
+		c.ChangeBurst = 6
+	}
+	if c.HyperfitEvery <= 0 {
+		c.HyperfitEvery = 5
+	}
+	return c
+}
+
+// Engine is the customized BO optimizer.
+type Engine struct {
+	cfg Config
+	rng *stats.RNG
+
+	obs       []Observation
+	anomalous []bool
+
+	costGP *gp.GP
+	latGP  *gp.GP
+	fitted bool
+	// Robust scales of the in-sample residuals, refreshed on refit.
+	costResidScale float64
+	latResidScale  float64
+
+	changeEvents int
+	sinceHyper   int
+}
+
+// New returns an engine for the given configuration.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	if cfg.Dim <= 0 {
+		panic("bo: Dim must be positive")
+	}
+	e := &Engine{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	e.costGP = gp.New(gp.NewMatern52(cfg.Dim), cfg.NoiseVar)
+	e.latGP = gp.New(gp.NewMatern52(cfg.Dim), cfg.NoiseVar)
+	return e
+}
+
+// Config returns the engine configuration (after defaulting).
+func (e *Engine) Config() Config { return e.cfg }
+
+// NumObservations returns the number of recorded observations.
+func (e *Engine) NumObservations() int { return len(e.obs) }
+
+// NumAnomalies returns how many observations are currently flagged.
+func (e *Engine) NumAnomalies() int {
+	n := 0
+	for _, a := range e.anomalous {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// ChangeEvents returns how many behaviour-change resets have occurred.
+func (e *Engine) ChangeEvents() int { return e.changeEvents }
+
+// Suggest returns the next batch of candidate configurations to profile.
+// During bootstrap it returns quasi-random points; afterwards it maximizes
+// the configured acquisition greedily per batch slot.
+func (e *Engine) Suggest() [][]float64 {
+	q := e.cfg.BatchSize
+	if len(e.cleanObservations()) < e.cfg.Bootstrap || !e.fitted {
+		return e.randomBatch(q)
+	}
+	cands := e.candidatePool()
+	return e.selectBatch(cands, q)
+}
+
+func (e *Engine) randomBatch(q int) [][]float64 {
+	out := make([][]float64, q)
+	for i := range out {
+		x := make([]float64, e.cfg.Dim)
+		for d := range x {
+			x[d] = e.rng.Float64()
+		}
+		out[i] = x
+	}
+	// Anchor the first bootstrap batch with the extreme corners: the
+	// most generous configuration calibrates the feasible side of the
+	// latency surrogate, the most frugal one the infeasible side.
+	if len(e.obs) == 0 && q >= 2 {
+		hi := make([]float64, e.cfg.Dim)
+		lo := make([]float64, e.cfg.Dim)
+		for d := range hi {
+			hi[d] = 0.97
+			lo[d] = 0.03
+		}
+		out[0] = hi
+		out[1] = lo
+	}
+	return out
+}
+
+// candidatePool generates scrambled Sobol candidates plus local
+// perturbations of the incumbent (coordinate moves around the best
+// feasible point, which matter increasingly in higher dimensions), and
+// applies the proactive QoS filter: candidates unlikely to meet the
+// constraint are pruned before acquisition scoring (unless that would
+// empty the pool).
+func (e *Engine) candidatePool() [][]float64 {
+	n := e.cfg.CandidatePool
+	if byDim := 32 * e.cfg.Dim; byDim > n {
+		n = byDim
+	}
+	if n > 512 {
+		n = 512
+	}
+	sob := qmc.NewScrambledSobol(e.cfg.Dim, e.rng.Split())
+	raw := sob.Sample(n)
+	if bestX, _, ok := e.BestFeasible(); ok {
+		for d := 0; d < e.cfg.Dim; d++ {
+			for _, dir := range []float64{-1, 1} {
+				c := append([]float64(nil), bestX...)
+				c[d] += dir * e.rng.Uniform(0.05, 0.25)
+				if c[d] >= 0 && c[d] < 1 {
+					raw = append(raw, c)
+				}
+			}
+		}
+	}
+	var kept [][]float64
+	for _, x := range raw {
+		if e.FeasibilityProbability(x) >= e.cfg.FeasibilityFloor {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) == 0 {
+		return raw
+	}
+	return kept
+}
+
+// FeasibilityProbability returns P(latency(x) <= QoS) under the latency GP.
+func (e *Engine) FeasibilityProbability(x []float64) float64 {
+	if !e.fitted {
+		return 1
+	}
+	m, v := e.latGP.Posterior(x)
+	sd := math.Sqrt(v + 1e-12)
+	return stats.NormalCDF((e.cfg.QoS - m) / sd)
+}
+
+// CostPosterior exposes the cost surrogate's posterior for inspection.
+func (e *Engine) CostPosterior(x []float64) (mean, variance float64) {
+	return e.costGP.Posterior(x)
+}
+
+// cleanObservations returns the observations not flagged as anomalies.
+func (e *Engine) cleanObservations() []Observation {
+	var out []Observation
+	for i, o := range e.obs {
+		if !e.anomalous[i] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// selectBatch greedily picks q candidates maximizing the acquisition with
+// per-sample fantasy bookkeeping for pending selections.
+func (e *Engine) selectBatch(cands [][]float64, q int) [][]float64 {
+	S := e.cfg.MCSamples
+	// Per-sample incumbent best over observed points (feasible preferred).
+	best := e.sampleIncumbents(S)
+
+	type cachedPosterior struct {
+		cm, cv, lm, lv float64
+	}
+	caches := make([]cachedPosterior, len(cands))
+	for i, x := range cands {
+		cm, cv := e.costGP.Posterior(x)
+		lm, lv := e.latGP.Posterior(x)
+		caches[i] = cachedPosterior{cm, math.Sqrt(cv + 1e-12), lm, math.Sqrt(lv + 1e-12)}
+	}
+	// QMC normal draws shared across candidates: dims (cost, latency).
+	sob := qmc.NewScrambledSobol(2, e.rng.Split())
+	draws := sob.NormalSample(S)
+
+	var batch [][]float64
+	taken := make([]bool, len(cands))
+	for slot := 0; slot < q; slot++ {
+		bestIdx, bestGain := -1, -math.Inf(1)
+		for i, x := range cands {
+			if taken[i] {
+				continue
+			}
+			c := caches[i]
+			var gain float64
+			switch e.cfg.Acquisition {
+			case EI:
+				gain = e.analyticEI(c.cm, c.cv, c.lm, c.lv, best)
+			default: // NEI
+				for s := 0; s < S; s++ {
+					costS := c.cm + c.cv*draws[s][0]
+					latS := c.lm + c.lv*draws[s][1]
+					if latS > e.cfg.QoS {
+						continue
+					}
+					if imp := best[s] - costS; imp > 0 {
+						gain += imp
+					}
+				}
+				gain /= float64(S)
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, i
+			}
+			_ = x
+		}
+		if bestIdx < 0 {
+			break
+		}
+		taken[bestIdx] = true
+		batch = append(batch, cands[bestIdx])
+		// Fantasy update: pending point lowers the per-sample incumbent.
+		c := caches[bestIdx]
+		for s := 0; s < S; s++ {
+			costS := c.cm + c.cv*draws[s][0]
+			latS := c.lm + c.lv*draws[s][1]
+			if latS <= e.cfg.QoS && costS < best[s] {
+				best[s] = costS
+			}
+		}
+	}
+	// Top up with random points if the pool ran dry.
+	for len(batch) < q {
+		batch = append(batch, e.randomBatch(1)[0])
+	}
+	return batch
+}
+
+// analyticEI is classic constrained EI: expected improvement over the best
+// *observed* feasible cost, weighted by the probability of feasibility.
+func (e *Engine) analyticEI(cm, csd, lm, lsd float64, best []float64) float64 {
+	// For EI the incumbent is deterministic: best[0] holds it (see
+	// sampleIncumbents which returns a constant slice under EI).
+	f := best[0]
+	if csd < 1e-12 {
+		csd = 1e-12
+	}
+	z := (f - cm) / csd
+	ei := (f-cm)*stats.NormalCDF(z) + csd*stats.NormalPDF(z)
+	if ei < 0 {
+		ei = 0
+	}
+	pf := stats.NormalCDF((e.cfg.QoS - lm) / lsd)
+	return ei * pf
+}
+
+// sampleIncumbents draws S joint posterior samples of (cost, latency) at
+// the observed points and returns, per sample, the minimum cost among
+// feasible points (falling back to overall minimum when no sampled point is
+// feasible). Under EI it returns the deterministic observed feasible best
+// replicated once.
+func (e *Engine) sampleIncumbents(S int) []float64 {
+	clean := e.cleanObservations()
+	if e.cfg.Acquisition == EI {
+		best := math.Inf(1)
+		for _, o := range clean {
+			if o.Latency <= e.cfg.QoS && o.Cost < best {
+				best = o.Cost
+			}
+		}
+		if math.IsInf(best, 1) {
+			for _, o := range clean {
+				if o.Cost < best {
+					best = o.Cost
+				}
+			}
+		}
+		out := make([]float64, S)
+		for i := range out {
+			out[i] = best
+		}
+		return out
+	}
+	xs := make([][]float64, len(clean))
+	for i, o := range clean {
+		xs[i] = o.X
+	}
+	n := len(xs)
+	dims := n
+	if dims > qmc.MaxDim {
+		// Sobol dimensionality is bounded; for larger histories use the
+		// most recent points for the joint draw (older ones rarely hold
+		// the incumbent under a converging optimizer) — fall back to the
+		// last MaxDim observations.
+		xs = xs[n-qmc.MaxDim:]
+		clean = clean[n-qmc.MaxDim:]
+		dims = qmc.MaxDim
+	}
+	sobC := qmc.NewScrambledSobol(dims, e.rng.Split())
+	sobL := qmc.NewScrambledSobol(dims, e.rng.Split())
+	costDraws := e.costGP.SampleJoint(xs, sobC.NormalSample(S))
+	latDraws := e.latGP.SampleJoint(xs, sobL.NormalSample(S))
+	best := make([]float64, S)
+	for s := 0; s < S; s++ {
+		bf, bAny := math.Inf(1), math.Inf(1)
+		for i := range xs {
+			c := costDraws[s][i]
+			if c < bAny {
+				bAny = c
+			}
+			if latDraws[s][i] <= e.cfg.QoS && c < bf {
+				bf = c
+			}
+		}
+		if math.IsInf(bf, 1) {
+			bf = bAny
+		}
+		best[s] = bf
+	}
+	return best
+}
+
+// Observe records a batch of profiled observations. Each new observation
+// is first screened against the *previous* surrogates (the paper's
+// diagnostic models): a point far outside the robust predictive interval
+// is an anomaly and never enters the fit. A burst of consecutive
+// anomalies signals a workload behaviour change and triggers incremental
+// retraining (history reset).
+func (e *Engine) Observe(batch []Observation) {
+	flags := make([]bool, len(batch))
+	if !e.cfg.DisableAnomalyDetection && e.fitted {
+		for i, o := range batch {
+			flags[i] = e.isAnomalous(o)
+		}
+	}
+	for i, o := range batch {
+		e.obs = append(e.obs, o)
+		e.anomalous = append(e.anomalous, flags[i])
+	}
+	e.sinceHyper += len(batch)
+	if e.cfg.SlidingWindow > 0 && len(e.obs) > e.cfg.SlidingWindow {
+		drop := len(e.obs) - e.cfg.SlidingWindow
+		e.obs = e.obs[drop:]
+		e.anomalous = e.anomalous[drop:]
+	}
+	if !e.cfg.DisableAnomalyDetection {
+		e.maybeHandleChange()
+	}
+	e.refit()
+}
+
+// isAnomalous screens one observation against the current surrogates: the
+// yardstick combines the posterior variance at the point with the robust
+// (MAD) scale of the current in-sample residuals, so ordinary noise and
+// model misfit set the bar and only irregular outliers exceed it.
+func (e *Engine) isAnomalous(o Observation) bool {
+	cm, cv := e.costGP.Posterior(o.X)
+	lm, lv := e.latGP.Posterior(o.X)
+	cThresh := e.cfg.AnomalyZ * math.Sqrt(e.costResidScale*e.costResidScale+cv)
+	lThresh := e.cfg.AnomalyZ * math.Sqrt(e.latResidScale*e.latResidScale+lv)
+	return math.Abs(o.Cost-cm) > cThresh || math.Abs(o.Latency-lm) > lThresh
+}
+
+// refit re-trains both GPs on the clean observations.
+func (e *Engine) refit() {
+	clean := e.cleanObservations()
+	if len(clean) < 2 {
+		e.fitted = false
+		return
+	}
+	xs := make([][]float64, len(clean))
+	costs := make([]float64, len(clean))
+	lats := make([]float64, len(clean))
+	for i, o := range clean {
+		xs[i] = o.X
+		costs[i] = o.Cost
+		lats[i] = o.Latency
+	}
+	if err := e.costGP.Fit(xs, costs); err != nil {
+		e.fitted = false
+		return
+	}
+	if err := e.latGP.Fit(xs, lats); err != nil {
+		e.fitted = false
+		return
+	}
+	if e.sinceHyper >= e.cfg.HyperfitEvery {
+		e.costGP.FitHyperparameters(e.rng, 2)
+		e.latGP.FitHyperparameters(e.rng, 2)
+		e.sinceHyper = 0
+	}
+	e.fitted = true
+	// Refresh the robust residual scales used by anomaly screening.
+	// Leave-one-out residuals are required here: in-sample residuals of
+	// a near-interpolating GP are ~0 and would flag everything.
+	costRes := make([]float64, 0, len(clean))
+	latRes := make([]float64, 0, len(clean))
+	for i, o := range clean {
+		cm, _, err1 := e.costGP.LeaveOneOut(i)
+		lm, _, err2 := e.latGP.LeaveOneOut(i)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		costRes = append(costRes, o.Cost-cm)
+		latRes = append(latRes, o.Latency-lm)
+	}
+	e.costResidScale = madScale(costRes)
+	e.latResidScale = madScale(latRes)
+}
+
+// madScale returns a robust standard-deviation estimate
+// (1.4826 × median absolute deviation), floored to avoid zero scales.
+func madScale(resid []float64) float64 {
+	abs := make([]float64, len(resid))
+	for i, r := range resid {
+		abs[i] = math.Abs(r)
+	}
+	s := 1.4826 * stats.Percentile(abs, 50)
+	if s < 1e-9 {
+		s = 1e-9
+	}
+	return s
+}
+
+// maybeHandleChange implements incremental retraining: when the most recent
+// ChangeBurst observations are all anomalous, the workload's behaviour has
+// likely changed (new inputs, function update); the engine drops older
+// history and un-flags the burst so the model re-learns from fresh samples.
+func (e *Engine) maybeHandleChange() {
+	k := e.cfg.ChangeBurst
+	if len(e.obs) < k {
+		return
+	}
+	for i := len(e.obs) - k; i < len(e.obs); i++ {
+		if !e.anomalous[i] {
+			return
+		}
+	}
+	e.obs = e.obs[len(e.obs)-k:]
+	e.anomalous = make([]bool, len(e.obs))
+	e.changeEvents++
+	e.fitted = false
+}
+
+// BestFeasible returns the non-anomalous observation with the lowest cost
+// among those meeting QoS. ok is false when no feasible point exists yet.
+func (e *Engine) BestFeasible() (x []float64, cost float64, ok bool) {
+	best := math.Inf(1)
+	for i, o := range e.obs {
+		if e.anomalous[i] || o.Latency > e.cfg.QoS {
+			continue
+		}
+		if o.Cost < best {
+			best = o.Cost
+			x = o.X
+			ok = true
+		}
+	}
+	return x, best, ok
+}
+
+// BestAny returns the lowest-cost non-anomalous observation regardless of
+// feasibility (used as a fallback when nothing meets QoS yet).
+func (e *Engine) BestAny() (x []float64, cost float64, ok bool) {
+	best := math.Inf(1)
+	for i, o := range e.obs {
+		if e.anomalous[i] {
+			continue
+		}
+		if o.Cost < best {
+			best = o.Cost
+			x = o.X
+			ok = true
+		}
+	}
+	return x, best, ok
+}

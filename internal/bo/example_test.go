@@ -1,0 +1,30 @@
+package bo_test
+
+import (
+	"fmt"
+
+	"aquatope/internal/bo"
+)
+
+// ExampleEngine runs the customized Bayesian optimizer on a toy
+// constrained problem: minimize cost = x subject to latency = 1.5 - x
+// staying below the QoS of 1.0 (so the optimum sits at x ≈ 0.5).
+func ExampleEngine() {
+	eng := bo.New(bo.Config{Dim: 1, QoS: 1.0, Seed: 7})
+	for iter := 0; iter < 12; iter++ {
+		batch := eng.Suggest()
+		obs := make([]bo.Observation, len(batch))
+		for i, x := range batch {
+			obs[i] = bo.Observation{X: x, Cost: x[0], Latency: 1.5 - x[0]}
+		}
+		eng.Observe(obs)
+	}
+	x, cost, ok := eng.BestFeasible()
+	fmt.Printf("found feasible: %v\n", ok)
+	fmt.Printf("near the boundary: %v\n", x[0] >= 0.5 && x[0] < 0.7)
+	fmt.Printf("cost below 0.7: %v\n", cost < 0.7)
+	// Output:
+	// found feasible: true
+	// near the boundary: true
+	// cost below 0.7: true
+}

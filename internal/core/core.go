@@ -1,0 +1,358 @@
+// Package core is Aquatope's top-level controller: it joins the dynamic
+// pre-warmed container pool (§4) with the container resource manager (§5)
+// and runs multi-stage serverless applications end to end on the simulated
+// FaaS platform, reproducing the paper's full-system evaluation (§8.3).
+//
+// The controller operates exactly as Fig. 1 describes: the resource
+// manager first searches for a near-optimal per-function configuration by
+// profiling candidates (on side clusters, standing in for the paper's
+// worker-server sampling); the chosen configuration is installed; the pool
+// scheduler trains its prediction models on the trace history and then
+// adjusts each function's pre-warmed container pool every interval while
+// live traffic replays.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/faas"
+	"aquatope/internal/loadgen"
+	"aquatope/internal/pool"
+	"aquatope/internal/resource"
+	"aquatope/internal/sim"
+	"aquatope/internal/stats"
+	"aquatope/internal/trace"
+	"aquatope/internal/workflow"
+)
+
+// Component pairs an application with the trace that drives it.
+type Component struct {
+	App   *apps.App
+	Trace *trace.Trace
+}
+
+// PolicyFactory builds a pool policy for one function.
+type PolicyFactory func(fn string) pool.Policy
+
+// ManagerFactory builds a resource-manager for one application.
+type ManagerFactory func(space *resource.Space, prof *resource.Profiler, qos float64, seed int64) resource.Manager
+
+// Config parameterizes an end-to-end run.
+type Config struct {
+	Components []Component
+	// TrainMin is the training prefix (minutes); metrics cover the rest.
+	TrainMin int
+	// PoolFactory supplies the container-pool policy (nil = provider
+	// fixed keep-alive).
+	PoolFactory PolicyFactory
+	// ManagerFactory supplies the resource manager (nil = keep each
+	// app's default configuration).
+	ManagerFactory ManagerFactory
+	// SearchBudget is the profiling-sample budget per application.
+	SearchBudget int
+	// ProfileNoise is the platform noise during configuration profiling.
+	ProfileNoise faas.Noise
+	// RuntimeNoise is the platform noise during the live run.
+	RuntimeNoise faas.Noise
+	// ColdStartFraction makes the profiler observe that share of cold
+	// executions (Fig. 17's no-pool resource manager must average over
+	// cold and warm behaviour).
+	ColdStartFraction float64
+	// ClusterCfg overrides the live platform configuration.
+	ClusterCfg faas.Config
+	Seed       int64
+}
+
+// AppResult reports one application's test-window outcome.
+type AppResult struct {
+	Workflows     int
+	QoSViolations int
+	ColdStarts    int
+	Invocations   int
+	CPUTime       float64
+	MemTime       float64
+	MeanLatency   float64
+	// ChosenConfig is the configuration the resource manager installed.
+	ChosenConfig map[string]faas.ResourceConfig
+}
+
+// ViolationRate returns the fraction of workflows missing their QoS.
+func (r AppResult) ViolationRate() float64 {
+	if r.Workflows == 0 {
+		return 0
+	}
+	return float64(r.QoSViolations) / float64(r.Workflows)
+}
+
+// Result aggregates an end-to-end run.
+type Result struct {
+	PerApp map[string]AppResult
+	// ProvisionedMemGBs is held container memory over the test window.
+	ProvisionedMemGBs float64
+}
+
+// Workflows returns the total workflow count.
+func (r Result) Workflows() int {
+	n := 0
+	for _, a := range r.PerApp {
+		n += a.Workflows
+	}
+	return n
+}
+
+// QoSViolationRate returns the aggregate violation fraction.
+func (r Result) QoSViolationRate() float64 {
+	var v, n int
+	for _, a := range r.PerApp {
+		v += a.QoSViolations
+		n += a.Workflows
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(v) / float64(n)
+}
+
+// ColdStartRate returns the aggregate cold-start fraction.
+func (r Result) ColdStartRate() float64 {
+	var c, n int
+	for _, a := range r.PerApp {
+		c += a.ColdStarts
+		n += a.Invocations
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(c) / float64(n)
+}
+
+// CPUTime returns total core-seconds across apps (test window).
+func (r Result) CPUTime() float64 {
+	var s float64
+	for _, a := range r.PerApp {
+		s += a.CPUTime
+	}
+	return s
+}
+
+// MemTime returns total GB-seconds across apps (test window).
+func (r Result) MemTime() float64 {
+	var s float64
+	for _, a := range r.PerApp {
+		s += a.MemTime
+	}
+	return s
+}
+
+// Run executes the end-to-end experiment.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Components) == 0 {
+		return Result{}, fmt.Errorf("core: no components")
+	}
+	if cfg.TrainMin <= 0 {
+		return Result{}, fmt.Errorf("core: TrainMin must be positive")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	// Phase 1: per-app resource search (offline profiling).
+	chosen := make(map[string]map[string]faas.ResourceConfig)
+	for _, comp := range cfg.Components {
+		a := comp.App
+		best := a.Defaults
+		if cfg.ManagerFactory != nil {
+			space := resource.NewSpace(a)
+			prof := resource.NewProfiler(a, rng.Int63())
+			prof.Noise = cfg.ProfileNoise
+			prof.ColdStartFraction = cfg.ColdStartFraction
+			m := cfg.ManagerFactory(space, prof, a.QoS, rng.Int63())
+			budget := cfg.SearchBudget
+			if budget <= 0 {
+				budget = 30
+			}
+			resource.Search(m, budget)
+			if b, _, ok := m.Best(); ok {
+				best = b
+			}
+		}
+		chosen[a.Name] = best
+	}
+
+	// Phase 2: live cluster.
+	eng := sim.NewEngine()
+	ccfg := cfg.ClusterCfg
+	ccfg.Noise = cfg.RuntimeNoise
+	if ccfg.Seed == 0 {
+		ccfg.Seed = cfg.Seed + 1
+	}
+	cl := faas.NewCluster(eng, ccfg)
+	for _, comp := range cfg.Components {
+		if err := comp.App.Register(cl); err != nil {
+			return Result{}, err
+		}
+		for fn, rc := range chosen[comp.App.Name] {
+			if err := cl.SetResourceConfig(fn, rc); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	ex := workflow.NewExecutor(cl)
+
+	// Schedule workflow arrivals for every component over the full trace.
+	trainCut := float64(cfg.TrainMin) * 60
+	type appStats struct {
+		res  *AppResult
+		qos  float64
+		lats []float64
+	}
+	statsByApp := make(map[string]*appStats)
+	for _, comp := range cfg.Components {
+		st := &appStats{res: &AppResult{ChosenConfig: chosen[comp.App.Name]}, qos: comp.App.QoS}
+		statsByApp[comp.App.Name] = st
+		driver := &loadgen.Driver{
+			Executor: ex,
+			App:      comp.App,
+			Trace:    comp.Trace,
+			Seed:     cfg.Seed + int64(len(statsByApp)),
+			OnResult: func(r workflow.Result) {
+				if r.SubmitTime < trainCut {
+					return
+				}
+				st.res.Workflows++
+				if r.Latency() > st.qos {
+					st.res.QoSViolations++
+				}
+				st.res.ColdStarts += r.ColdStarts
+				st.res.Invocations += r.Invocations
+				st.res.CPUTime += r.CPUTime()
+				st.res.MemTime += r.MemTime()
+				st.lats = append(st.lats, r.Latency())
+			},
+		}
+		driver.Start()
+	}
+
+	// Phase 3: container pool management. History accrues from t=0;
+	// policies are fitted at the training boundary and applied after it.
+	var mgr *pool.Manager
+	if cfg.PoolFactory != nil {
+		mgr = pool.NewManager(cl)
+		mgr.ApplyAfter = trainCut
+		policies := make(map[string]pool.Policy)
+		for _, comp := range cfg.Components {
+			tr := comp.Trace
+			for _, fn := range comp.App.FunctionNames() {
+				p := cfg.PoolFactory(fn)
+				policies[fn] = p
+				mgr.Manage(fn, p, 0)
+				_ = tr
+			}
+		}
+		mgr.Start()
+		eng.Schedule(trainCut, func() {
+			for _, comp := range cfg.Components {
+				tr := comp.Trace
+				for _, fn := range comp.App.FunctionNames() {
+					fn := fn
+					policies[fn].Fit(pool.FitData{
+						Demand:   mgr.History(fn),
+						Arrivals: arrivalsBefore(tr.Arrivals, trainCut),
+						FeatFn:   func(i int) []float64 { return tr.Features(i) },
+					})
+				}
+			}
+		})
+	}
+
+	// Metrics snapshot at the training boundary.
+	var provBase float64
+	eng.Schedule(trainCut, func() { provBase = cl.Metrics().ProvisionedMemTime })
+
+	horizon := 0.0
+	for _, comp := range cfg.Components {
+		if h := float64(comp.Trace.DurationMin) * 60; h > horizon {
+			horizon = h
+		}
+	}
+	// Allow in-flight workflows to finish.
+	eng.RunUntil(horizon + 300)
+	cl.Flush()
+
+	out := Result{PerApp: make(map[string]AppResult)}
+	for name, st := range statsByApp {
+		if len(st.lats) > 0 {
+			st.res.MeanLatency = stats.Mean(st.lats)
+		}
+		out.PerApp[name] = *st.res
+	}
+	out.ProvisionedMemGBs = cl.Metrics().ProvisionedMemTime - provBase
+	if math.IsNaN(out.ProvisionedMemGBs) || out.ProvisionedMemGBs < 0 {
+		out.ProvisionedMemGBs = 0
+	}
+	return out, nil
+}
+
+func arrivalsBefore(arrivals []float64, cut float64) []float64 {
+	var out []float64
+	for _, a := range arrivals {
+		if a < cut {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Preset system variants used throughout the evaluation (§8.3).
+
+// AquatopePoolFactory returns the paper's hybrid-Bayesian pool policy with
+// a compact model configuration suitable for minute-scale traces.
+func AquatopePoolFactory(lite bool) PolicyFactory {
+	return func(fn string) pool.Policy {
+		cfg := pool.DefaultModelConfig(trace.FeatureDim)
+		cfg.EncoderHidden = 20
+		cfg.PredHidden = []int{20, 10}
+		cfg.EncoderEpochs = 10
+		cfg.PredEpochs = 25
+		cfg.MCSamples = 12
+		cfg.LR = 0.01
+		return &pool.Aquatope{ModelConfig: cfg, Window: 40, HeadroomZ: 2.5, Lite: lite}
+	}
+}
+
+// AutoscalePoolFactory returns the reactive autoscaling pool baseline.
+func AutoscalePoolFactory() PolicyFactory {
+	return func(fn string) pool.Policy { return &pool.Autoscale{} }
+}
+
+// IceBreakerPoolFactory returns IceBreaker's Fourier pre-warming baseline.
+func IceBreakerPoolFactory() PolicyFactory {
+	return func(fn string) pool.Policy { return &pool.IceBreaker{} }
+}
+
+// KeepAlivePoolFactory returns the provider fixed keep-alive baseline.
+func KeepAlivePoolFactory(seconds float64) PolicyFactory {
+	return func(fn string) pool.Policy { return &pool.FixedKeepAlive{Duration: seconds} }
+}
+
+// AquatopeManagerFactory returns the customized-BO resource manager.
+func AquatopeManagerFactory() ManagerFactory {
+	return func(space *resource.Space, prof *resource.Profiler, qos float64, seed int64) resource.Manager {
+		return resource.NewAquatope(space, prof, qos, seed)
+	}
+}
+
+// CLITEManagerFactory returns the CLITE baseline manager.
+func CLITEManagerFactory() ManagerFactory {
+	return func(space *resource.Space, prof *resource.Profiler, qos float64, seed int64) resource.Manager {
+		return resource.NewCLITE(space, prof, qos, seed)
+	}
+}
+
+// AutoscaleManagerFactory returns the autoscaling resource manager.
+func AutoscaleManagerFactory() ManagerFactory {
+	return func(space *resource.Space, prof *resource.Profiler, qos float64, seed int64) resource.Manager {
+		return resource.NewAutoscale(space, prof, qos, seed)
+	}
+}

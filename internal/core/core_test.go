@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/pool"
+	"aquatope/internal/trace"
+)
+
+func smallComponents(seed int64) []Component {
+	chain := apps.NewChain(2)
+	tr := trace.Synthesize(trace.GenConfig{
+		DurationMin:    240,
+		MeanRatePerMin: 1.5,
+		Diurnal:        0.5,
+		CV:             1.5,
+		Seed:           seed,
+	})
+	return []Component{{App: chain, Trace: tr}}
+}
+
+// fastPool keeps end-to-end tests quick.
+func fastPool() PolicyFactory {
+	return func(fn string) pool.Policy {
+		cfg := pool.DefaultModelConfig(trace.FeatureDim)
+		cfg.EncoderHidden = 10
+		cfg.PredHidden = []int{10, 6}
+		cfg.EncoderEpochs = 4
+		cfg.PredEpochs = 10
+		cfg.MCSamples = 6
+		cfg.LR = 0.01
+		return &pool.Aquatope{ModelConfig: cfg, Window: 20, HeadroomZ: 2}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config should error")
+	}
+	if _, err := Run(Config{Components: smallComponents(1)}); err == nil {
+		t.Fatal("zero TrainMin should error")
+	}
+}
+
+func TestEndToEndDefaults(t *testing.T) {
+	res, err := Run(Config{
+		Components: smallComponents(2),
+		TrainMin:   120,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workflows() == 0 {
+		t.Fatal("no workflows completed in test window")
+	}
+	if res.CPUTime() <= 0 || res.MemTime() <= 0 {
+		t.Fatal("cost not accounted")
+	}
+	app := res.PerApp["chain2"]
+	if app.Invocations < app.Workflows*2 {
+		t.Fatalf("chain2 should have >= 2 invocations per workflow: %d/%d", app.Invocations, app.Workflows)
+	}
+	if app.MeanLatency <= 0 {
+		t.Fatal("mean latency missing")
+	}
+}
+
+func TestEndToEndFullAquatope(t *testing.T) {
+	res, err := Run(Config{
+		Components:     smallComponents(4),
+		TrainMin:       120,
+		PoolFactory:    fastPool(),
+		ManagerFactory: AquatopeManagerFactory(),
+		SearchBudget:   15,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workflows() == 0 {
+		t.Fatal("no workflows")
+	}
+	app := res.PerApp["chain2"]
+	if app.ChosenConfig == nil {
+		t.Fatal("resource manager did not install a configuration")
+	}
+	if rate := res.QoSViolationRate(); rate > 0.5 {
+		t.Fatalf("violation rate %.2f too high for full system", rate)
+	}
+}
+
+func TestFullSystemBeatsKeepAliveOnColdStarts(t *testing.T) {
+	// Sparse periodic trace: the keep-alive variant suffers cold starts,
+	// the Aquatope pool avoids most of them.
+	chain := apps.NewChain(2)
+	tr := trace.SynthesizePeriodic(trace.PeriodicGenConfig{
+		DurationMin: 960, PeriodMin: 25, JitterFrac: 0.12, ClumpMean: 2,
+		Diurnal: 0.4, Seed: 11,
+	})
+	comps := []Component{{App: chain, Trace: tr}}
+
+	keep, err := Run(Config{Components: comps, TrainMin: 600,
+		PoolFactory: KeepAlivePoolFactory(600), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aqua, err := Run(Config{Components: comps, TrainMin: 600,
+		PoolFactory: fastPool(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aqua.ColdStartRate() >= keep.ColdStartRate() {
+		t.Fatalf("aquatope cold %.3f should beat keep-alive %.3f",
+			aqua.ColdStartRate(), keep.ColdStartRate())
+	}
+}
+
+func TestFactoriesProduceDistinctPolicies(t *testing.T) {
+	if AquatopePoolFactory(false)("f").Name() != "aquatope" {
+		t.Fatal("aquatope factory wrong")
+	}
+	if AquatopePoolFactory(true)("f").Name() != "aqualite" {
+		t.Fatal("aqualite factory wrong")
+	}
+	if AutoscalePoolFactory()("f").Name() != "autoscale" {
+		t.Fatal("autoscale factory wrong")
+	}
+	if IceBreakerPoolFactory()("f").Name() != "icebreaker" {
+		t.Fatal("icebreaker factory wrong")
+	}
+	if KeepAlivePoolFactory(60)("f").Name() != "keepalive" {
+		t.Fatal("keepalive factory wrong")
+	}
+}
+
+func TestResultAggregation(t *testing.T) {
+	r := Result{PerApp: map[string]AppResult{
+		"a": {Workflows: 10, QoSViolations: 1, ColdStarts: 2, Invocations: 20, CPUTime: 5, MemTime: 3},
+		"b": {Workflows: 10, QoSViolations: 3, ColdStarts: 8, Invocations: 30, CPUTime: 5, MemTime: 2},
+	}}
+	if r.Workflows() != 20 {
+		t.Fatalf("workflows = %d", r.Workflows())
+	}
+	if got := r.QoSViolationRate(); got != 0.2 {
+		t.Fatalf("violation rate = %v", got)
+	}
+	if got := r.ColdStartRate(); got != 0.2 {
+		t.Fatalf("cold rate = %v", got)
+	}
+	if r.CPUTime() != 10 || r.MemTime() != 5 {
+		t.Fatal("cost aggregation wrong")
+	}
+	if (AppResult{}).ViolationRate() != 0 {
+		t.Fatal("empty app violation rate should be 0")
+	}
+	if (Result{}).QoSViolationRate() != 0 || (Result{}).ColdStartRate() != 0 {
+		t.Fatal("empty result rates should be 0")
+	}
+}

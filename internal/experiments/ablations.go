@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/bo"
+	"aquatope/internal/faas"
+	"aquatope/internal/pool"
+	"aquatope/internal/resource"
+	"aquatope/internal/trace"
+)
+
+// AblationBatchResult sweeps the BO batch size q: the paper uses q=3,
+// claiming it "speeds up the search without sacrificing quality" (§5.3).
+// Iterations measures wall-clock-equivalent rounds (each round's samples
+// are profiled in parallel on the scalable platform).
+type AblationBatchResult struct {
+	Q          []int
+	CostPct    []float64 // final cost, % oracle
+	Iterations []float64 // search rounds needed to consume the budget
+}
+
+// Table renders the sweep.
+func (r AblationBatchResult) Table() string {
+	rows := make([][]string, len(r.Q))
+	for i := range r.Q {
+		rows[i] = []string{fmt.Sprintf("q=%d", r.Q[i]), f0(r.CostPct[i]) + "%", f0(r.Iterations[i])}
+	}
+	return formatTable([]string{"Batch", "Cost(%Oracle)", "Rounds"}, rows)
+}
+
+// AblationBatchSize runs the Aquatope engine on the ML pipeline with batch
+// sizes 1, 3 and 6 under the same total sample budget.
+func AblationBatchSize(s Scale) AblationBatchResult {
+	a := apps.NewMLPipeline()
+	space := resource.NewSpace(a)
+	_, oracleCost, _, _, ok := solveOracle(a, s.Seed)
+	if !ok {
+		return AblationBatchResult{}
+	}
+	evalProf := resource.NewProfiler(a, s.Seed+500)
+	res := AblationBatchResult{}
+	for _, q := range []int{1, 3, 6} {
+		var sumCost, sumRounds float64
+		n := 0
+		for rep := 0; rep < s.Repeats; rep++ {
+			seed := s.Seed + int64(rep)*53
+			prof := resource.NewProfiler(a, seed)
+			prof.Noise = profileNoise
+			eng := bo.New(bo.Config{Dim: space.Dim(), QoS: a.QoS, Seed: seed, BatchSize: q})
+			m := &resource.BOManager{Label: "aquatope", Space: space, Profiler: prof, Opt: eng}
+			rounds := 0
+			for m.Samples() < s.SearchBudget {
+				if m.Step() == 0 {
+					break
+				}
+				rounds++
+			}
+			if cfg, _, okB := m.Best(); okB {
+				if c, feasible := evalTrue(evalProf, cfg, a.QoS); feasible {
+					sumCost += c
+					sumRounds += float64(rounds)
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		res.Q = append(res.Q, q)
+		res.CostPct = append(res.CostPct, sumCost/float64(n)/oracleCost*100)
+		res.Iterations = append(res.Iterations, sumRounds/float64(n))
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+
+// AblationHeadroomResult sweeps the pool's uncertainty headroom z,
+// exposing the cold-start / memory trade-off the paper's uncertainty-aware
+// sizing navigates.
+type AblationHeadroomResult struct {
+	Z        []float64
+	ColdRate []float64
+	MemGBs   []float64
+}
+
+// Table renders the trade-off curve.
+func (r AblationHeadroomResult) Table() string {
+	rows := make([][]string, len(r.Z))
+	for i := range r.Z {
+		rows[i] = []string{fmt.Sprintf("z=%.1f", r.Z[i]), pct(r.ColdRate[i]), f0(r.MemGBs[i])}
+	}
+	return formatTable([]string{"Headroom", "ColdStart", "MemGBs"}, rows)
+}
+
+// AblationHeadroom replays a periodic trace under the Aquatope pool with
+// growing headroom.
+func AblationHeadroom(s Scale) AblationHeadroomResult {
+	tr := trace.SynthesizePeriodic(trace.PeriodicGenConfig{
+		DurationMin: s.TraceMin, PeriodMin: 30, JitterFrac: 0.12,
+		ClumpMean: 2.5, Diurnal: 0.5, Seed: s.Seed + 31,
+	})
+	model := faas.DefaultSyntheticModel()
+	model.BaseExecSec = 6
+	model.ColdInitSec = 3
+	res := AblationHeadroomResult{}
+	for _, z := range []float64{0.5, 1, 2, 3, 4} {
+		p := s.aquatopePolicy(false)
+		p.HeadroomZ = z
+		r := pool.Run(pool.RunConfig{
+			Trace: tr, TrainMin: s.TrainMin, Model: model,
+			Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
+			Policy:    p, Seed: s.Seed,
+		})
+		res.Z = append(res.Z, z)
+		res.ColdRate = append(res.ColdRate, r.ColdRate)
+		res.MemGBs = append(res.MemGBs, r.ProvisionedMemGBs)
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+
+// AblationMCSamplesResult sweeps the number of MC-dropout forward passes T
+// used for the predictive distribution.
+type AblationMCSamplesResult struct {
+	T        []int
+	ColdRate []float64
+	MemGBs   []float64
+}
+
+// Table renders the sweep.
+func (r AblationMCSamplesResult) Table() string {
+	rows := make([][]string, len(r.T))
+	for i := range r.T {
+		rows[i] = []string{fmt.Sprintf("T=%d", r.T[i]), pct(r.ColdRate[i]), f0(r.MemGBs[i])}
+	}
+	return formatTable([]string{"MCSamples", "ColdStart", "MemGBs"}, rows)
+}
+
+// AblationMCSamples varies T on the same periodic workload.
+func AblationMCSamples(s Scale) AblationMCSamplesResult {
+	tr := trace.SynthesizePeriodic(trace.PeriodicGenConfig{
+		DurationMin: s.TraceMin, PeriodMin: 30, JitterFrac: 0.12,
+		ClumpMean: 2.5, Diurnal: 0.5, Seed: s.Seed + 37,
+	})
+	model := faas.DefaultSyntheticModel()
+	model.BaseExecSec = 6
+	model.ColdInitSec = 3
+	res := AblationMCSamplesResult{}
+	for _, T := range []int{1, 5, 15, 30} {
+		p := s.aquatopePolicy(false)
+		p.ModelConfig.MCSamples = T
+		r := pool.Run(pool.RunConfig{
+			Trace: tr, TrainMin: s.TrainMin, Model: model,
+			Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
+			Policy:    p, Seed: s.Seed,
+		})
+		res.T = append(res.T, T)
+		res.ColdRate = append(res.ColdRate, r.ColdRate)
+		res.MemGBs = append(res.MemGBs, r.ProvisionedMemGBs)
+	}
+	return res
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aquatope/internal/faas"
+	"aquatope/internal/pool"
+	"aquatope/internal/timeseries"
+	"aquatope/internal/trace"
+)
+
+// coldStartPolicies returns the Fig. 9 policy lineup, freshly constructed.
+func (s Scale) coldStartPolicies() []func() pool.Policy {
+	return []func() pool.Policy{
+		func() pool.Policy { return &pool.FixedKeepAlive{Duration: 600} },
+		func() pool.Policy { return &pool.Autoscale{} },
+		func() pool.Policy { return &pool.Histogram{} },
+		func() pool.Policy { return &pool.FaaSCache{} },
+		func() pool.Policy { return &pool.IceBreaker{} },
+		func() pool.Policy { return s.aquatopePolicy(false) },
+	}
+}
+
+// Fig9Result reports cold-start rate (Fig. 9a) and provisioned memory time
+// (Fig. 9b, relative to keep-alive = 100) per policy.
+type Fig9Result struct {
+	Order     []string
+	ColdRate  map[string]float64
+	MemGBs    map[string]float64
+	RelMemPct map[string]float64 // % of the keep-alive baseline
+}
+
+// Table renders both panels.
+func (r Fig9Result) Table() string {
+	rows := make([][]string, 0, len(r.Order))
+	for _, name := range r.Order {
+		rows = append(rows, []string{name, pct(r.ColdRate[name]),
+			f0(r.MemGBs[name]), f0(r.RelMemPct[name]) + "%"})
+	}
+	return formatTable([]string{"Policy", "ColdStart", "MemGBs", "Mem(%Keep)"}, rows)
+}
+
+// Fig9 replays the workload ensemble under each cold-start policy and
+// aggregates invocation-weighted cold-start rates and provisioned memory.
+func Fig9(s Scale) Fig9Result {
+	res := Fig9Result{
+		ColdRate:  make(map[string]float64),
+		MemGBs:    make(map[string]float64),
+		RelMemPct: make(map[string]float64),
+	}
+	cold := make(map[string][2]float64) // cold, total
+	for _, mk := range s.coldStartPolicies() {
+		var name string
+		for i := 0; i < s.Ensemble; i++ {
+			p := mk()
+			name = p.Name()
+			r := pool.Run(pool.RunConfig{
+				Trace:     ensembleTrace(i, s.TraceMin, s.Seed),
+				TrainMin:  s.TrainMin,
+				Model:     ensembleModel(i, s.Seed),
+				Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
+				Policy:    p,
+				Seed:      s.Seed + int64(i),
+			})
+			c := cold[name]
+			c[0] += float64(r.ColdStarts)
+			c[1] += float64(r.Invocations)
+			cold[name] = c
+			res.MemGBs[name] += r.ProvisionedMemGBs
+		}
+		if _, seen := contains(res.Order, name); !seen {
+			res.Order = append(res.Order, name)
+		}
+	}
+	for name, c := range cold {
+		if c[1] > 0 {
+			res.ColdRate[name] = c[0] / c[1]
+		}
+	}
+	base := res.MemGBs["keepalive"]
+	for name, m := range res.MemGBs {
+		if base > 0 {
+			res.RelMemPct[name] = m / base * 100
+		}
+	}
+	return res
+}
+
+func contains(xs []string, x string) (int, bool) {
+	for i, v := range xs {
+		if v == x {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// ---------------------------------------------------------------------------
+
+// Fig10Result compares IceBreaker and Aquatope cold-start rates across
+// workloads with growing inter-arrival CV.
+type Fig10Result struct {
+	CVs      []float64
+	IceBrk   []float64
+	Aquatope []float64
+}
+
+// Table renders the Fig. 10 series.
+func (r Fig10Result) Table() string {
+	rows := make([][]string, len(r.CVs))
+	for i := range r.CVs {
+		rows[i] = []string{f2(r.CVs[i]), pct(r.IceBrk[i]), pct(r.Aquatope[i])}
+	}
+	return formatTable([]string{"CV", "IceBreaker", "Aquatope"}, rows)
+}
+
+// Fig10 sweeps the trace coefficient of variation and measures the
+// cold-start rate of IceBreaker (best prior work) vs Aquatope.
+func Fig10(s Scale) Fig10Result {
+	res := Fig10Result{}
+	for _, cv := range []float64{0.25, 1, 2, 3, 4} {
+		tr := trace.Synthesize(trace.GenConfig{
+			DurationMin:          s.TraceMin,
+			MeanRatePerMin:       1.2,
+			Diurnal:              0.6,
+			CV:                   cv,
+			BurstEpisodesPerHour: 0.8 * cv / 2,
+			BurstDurationMin:     10,
+			BurstMultiplier:      4 + 2*cv,
+			Seed:                 s.Seed + int64(cv*100),
+		})
+		model := faas.DefaultSyntheticModel()
+		model.BaseExecSec = 6
+		model.ColdInitSec = 3
+		run := func(p pool.Policy) float64 {
+			return pool.Run(pool.RunConfig{
+				Trace:     tr,
+				TrainMin:  s.TrainMin,
+				Model:     model,
+				Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
+				Policy:    p,
+				Seed:      s.Seed,
+			}).ColdRate
+		}
+		res.CVs = append(res.CVs, tr.InterArrivalCV())
+		res.IceBrk = append(res.IceBrk, run(&pool.IceBreaker{}))
+		res.Aquatope = append(res.Aquatope, run(s.aquatopePolicy(false)))
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+
+// Fig11Result is the provisioned-memory-over-time comparison of Aquatope
+// vs AquaLite against the actual demand footprint.
+type Fig11Result struct {
+	MinuteOffset int
+	ActualGB     []float64
+	AquatopeGB   []float64
+	AquaLiteGB   []float64
+	// Cold rates over the window (the paper: Aquatope saves 8% memory and
+	// 3% more cold starts than AquaLite).
+	AquatopeCold, AquaLiteCold float64
+}
+
+// Table renders a decimated series plus the summary line.
+func (r Fig11Result) Table() string {
+	rows := [][]string{}
+	for i := 0; i < len(r.ActualGB); i += 10 {
+		rows = append(rows, []string{
+			fmt.Sprintf("t+%dmin", i), f2(r.ActualGB[i]), f2(r.AquatopeGB[i]), f2(r.AquaLiteGB[i]),
+		})
+	}
+	out := formatTable([]string{"Time", "ActualGB", "AquatopeGB", "AquaLiteGB"}, rows)
+	out += fmt.Sprintf("cold: aquatope %s, aqualite %s\n", pct(r.AquatopeCold), pct(r.AquaLiteCold))
+	return out
+}
+
+// Fig11 runs a fluctuating episodic trace under Aquatope and AquaLite and
+// records each pool's memory footprint over time alongside the actual
+// demand footprint.
+func Fig11(s Scale) Fig11Result {
+	tr := trace.Synthesize(trace.GenConfig{
+		DurationMin:          s.TraceMin,
+		MeanRatePerMin:       0.8,
+		Diurnal:              0.7,
+		CV:                   2,
+		BurstEpisodesPerHour: 1.2,
+		BurstDurationMin:     12,
+		BurstMultiplier:      8,
+		Seed:                 s.Seed + 7,
+	})
+	model := faas.DefaultSyntheticModel()
+	model.BaseExecSec = 6
+	model.ColdInitSec = 3
+	resources := faas.ResourceConfig{CPU: 1, MemoryMB: 512}
+	run := func(p pool.Policy) pool.RunResult {
+		return pool.Run(pool.RunConfig{
+			Trace: tr, TrainMin: s.TrainMin, Model: model,
+			Resources: resources, Policy: p, MemorySeries: true, Seed: s.Seed,
+		})
+	}
+	full := run(s.aquatopePolicy(false))
+	lite := run(s.aquatopePolicy(true))
+
+	// Actual footprint: demand series × container memory.
+	demand := full.DemandSeries
+	n := len(full.MemorySeriesGB)
+	if len(lite.MemorySeriesGB) < n {
+		n = len(lite.MemorySeriesGB)
+	}
+	if len(demand) < n {
+		n = len(demand)
+	}
+	res := Fig11Result{MinuteOffset: s.TrainMin,
+		AquatopeCold: full.ColdRate, AquaLiteCold: lite.ColdRate}
+	for i := 0; i < n; i++ {
+		res.ActualGB = append(res.ActualGB, demand[i]*resources.MemoryMB/1024)
+		res.AquatopeGB = append(res.AquatopeGB, full.MemorySeriesGB[i])
+		res.AquaLiteGB = append(res.AquaLiteGB, lite.MemorySeriesGB[i])
+	}
+	return res
+}
+
+// PredictorPolicyForTable1 adapts a timeseries predictor into a pool
+// policy (exported for the CLI's extended comparisons).
+func PredictorPolicyForTable1(name string, p timeseries.Predictor) pool.Policy {
+	return &pool.PredictorPolicy{Label: name, Predictor: p}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"aquatope/internal/core"
+	"aquatope/internal/faas"
+	"aquatope/internal/pool"
+)
+
+// e2eComponents builds the end-to-end workload: the five applications,
+// each driven by an Azure-like trace of its own archetype.
+func e2eComponents(s Scale) []core.Component {
+	var comps []core.Component
+	for i, a := range evalApps(s.Seed) {
+		comps = append(comps, core.Component{
+			App:   a,
+			Trace: ensembleTrace(i*3, s.TraceMin, s.Seed+77),
+		})
+	}
+	return comps
+}
+
+// runtimeNoise is the live-platform interference for end-to-end runs.
+var runtimeNoise = faas.Noise{GaussianStd: 0.1, OutlierRate: 0.01, OutlierScale: 3}
+
+// aquatopePoolFactory returns a core.PolicyFactory producing fresh
+// scale-adjusted Aquatope pool policies.
+func (s Scale) aquatopePoolFactory(lite bool) core.PolicyFactory {
+	return func(fn string) pool.Policy { return s.aquatopePolicy(lite) }
+}
+
+// ---------------------------------------------------------------------------
+
+// Fig17Result demonstrates the cold-start/resource-management correlation:
+// a resource manager without the pre-warmed pool must split the difference
+// between cold and warm behaviour and overprovisions.
+type Fig17Result struct {
+	FullCPU, FullMem     float64
+	RMOnlyCPU, RMOnlyMem float64
+}
+
+// Table renders the comparison (full system = 100%).
+func (r Fig17Result) Table() string {
+	rows := [][]string{
+		{"Prewarm + Resource Manager", "100%", "100%"},
+		{"Resource Manager Only",
+			f0(r.RMOnlyCPU/r.FullCPU*100) + "%",
+			f0(r.RMOnlyMem/r.FullMem*100) + "%"},
+	}
+	return formatTable([]string{"System", "CPU time", "Memory time"}, rows)
+}
+
+// Fig17 compares the full Aquatope against a variant with only the
+// resource manager (provider keep-alive pool; profiling forced to average
+// over cold and warm behaviour).
+func Fig17(s Scale) Fig17Result {
+	comps := e2eComponents(s)
+	full, err := core.Run(core.Config{
+		Components:     comps,
+		TrainMin:       s.TrainMin,
+		PoolFactory:    s.aquatopePoolFactory(false),
+		ManagerFactory: core.AquatopeManagerFactory(),
+		SearchBudget:   s.SearchBudget,
+		ProfileNoise:   profileNoise,
+		RuntimeNoise:   runtimeNoise,
+		Seed:           s.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rmOnly, err := core.Run(core.Config{
+		Components:        comps,
+		TrainMin:          s.TrainMin,
+		PoolFactory:       core.KeepAlivePoolFactory(600),
+		ManagerFactory:    core.AquatopeManagerFactory(),
+		SearchBudget:      s.SearchBudget,
+		ProfileNoise:      profileNoise,
+		RuntimeNoise:      runtimeNoise,
+		ColdStartFraction: 0.5, // forced to balance cold and warm behaviour
+		Seed:              s.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return Fig17Result{
+		FullCPU: full.CPUTime(), FullMem: full.MemTime(),
+		RMOnlyCPU: rmOnly.CPUTime(), RMOnlyMem: rmOnly.MemTime(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// Fig18Result is the end-to-end comparison of Fig. 18: QoS violations,
+// CPU time and memory time for the three full frameworks.
+type Fig18Result struct {
+	Order     []string
+	Violation map[string]float64
+	CPUTime   map[string]float64
+	MemTime   map[string]float64
+	ColdRate  map[string]float64
+}
+
+// Table renders with the autoscaling framework normalized to 100%.
+func (r Fig18Result) Table() string {
+	base := r.Order[0]
+	rows := [][]string{}
+	for _, name := range r.Order {
+		rows = append(rows, []string{
+			name,
+			pct(r.Violation[name]),
+			f0(r.CPUTime[name]/r.CPUTime[base]*100) + "%",
+			f0(r.MemTime[name]/r.MemTime[base]*100) + "%",
+			pct(r.ColdRate[name]),
+		})
+	}
+	return formatTable([]string{"Framework", "QoSViol", "CPU(%auto)", "Mem(%auto)", "ColdStart"}, rows)
+}
+
+// Fig18 runs the three frameworks — Autoscale (pool + RM), the best prior
+// combination IceBreaker+CLITE, and the full Aquatope — over all five
+// applications and traces.
+func Fig18(s Scale) Fig18Result {
+	comps := e2eComponents(s)
+	res := Fig18Result{
+		Order:     []string{"autoscale", "icebreaker+clite", "aquatope"},
+		Violation: make(map[string]float64),
+		CPUTime:   make(map[string]float64),
+		MemTime:   make(map[string]float64),
+		ColdRate:  make(map[string]float64),
+	}
+	for _, name := range res.Order {
+		cfg := core.Config{
+			Components:   comps,
+			TrainMin:     s.TrainMin,
+			SearchBudget: s.SearchBudget,
+			ProfileNoise: profileNoise,
+			RuntimeNoise: runtimeNoise,
+			Seed:         s.Seed,
+		}
+		switch name {
+		case "autoscale":
+			cfg.PoolFactory = core.AutoscalePoolFactory()
+			cfg.ManagerFactory = core.AutoscaleManagerFactory()
+		case "icebreaker+clite":
+			cfg.PoolFactory = core.IceBreakerPoolFactory()
+			cfg.ManagerFactory = core.CLITEManagerFactory()
+		case "aquatope":
+			cfg.PoolFactory = s.aquatopePoolFactory(false)
+			cfg.ManagerFactory = core.AquatopeManagerFactory()
+		}
+		r, err := core.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		res.Violation[name] = r.QoSViolationRate()
+		res.CPUTime[name] = r.CPUTime()
+		res.MemTime[name] = r.MemTime()
+		res.ColdRate[name] = r.ColdStartRate()
+	}
+	return res
+}

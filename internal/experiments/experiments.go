@@ -1,0 +1,168 @@
+// Package experiments contains one reproducible harness per table and
+// figure of the paper's evaluation (§8). Every harness is parameterized by
+// a Scale so the same code serves quick CI runs and the full regeneration
+// driven by cmd/aquabench; all randomness is seeded. Each result type
+// carries a Table method that prints the same rows/series the paper
+// reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"aquatope/internal/faas"
+	"aquatope/internal/pool"
+	"aquatope/internal/stats"
+	"aquatope/internal/trace"
+)
+
+// Scale selects the experiment size.
+type Scale struct {
+	// TraceMin is the trace length in minutes; TrainMin the training
+	// prefix.
+	TraceMin, TrainMin int
+	// Ensemble is the number of functions in cold-start experiments.
+	Ensemble int
+	// Repeats is the number of repetitions for search experiments
+	// (paper: 30).
+	Repeats int
+	// SearchBudget is the profiling-sample budget per search.
+	SearchBudget int
+	// ModelEpochs scales neural-model training effort.
+	ModelEpochs int
+	Seed        int64
+}
+
+// Quick is a minutes-scale configuration for tests and smoke benches.
+// Training spans a full day so the calendar features cover every phase.
+var Quick = Scale{
+	TraceMin: 2160, TrainMin: 1440,
+	Ensemble: 4, Repeats: 12, SearchBudget: 45, ModelEpochs: 6, Seed: 1,
+}
+
+// Full approximates the paper's scale (hours of wall-clock).
+var Full = Scale{
+	TraceMin: 4320, TrainMin: 2880,
+	Ensemble: 12, Repeats: 10, SearchBudget: 60, ModelEpochs: 15, Seed: 1,
+}
+
+// aquatopePolicy builds the hybrid-Bayesian pool policy at this scale.
+func (s Scale) aquatopePolicy(lite bool) *pool.Aquatope {
+	cfg := pool.DefaultModelConfig(trace.FeatureDim)
+	cfg.EncoderHidden = 20
+	cfg.PredHidden = []int{20, 10}
+	cfg.EncoderEpochs = s.ModelEpochs
+	cfg.PredEpochs = s.ModelEpochs * 3
+	cfg.MCSamples = 12
+	cfg.LR = 0.01
+	return &pool.Aquatope{ModelConfig: cfg, Window: 40, HeadroomZ: 3, Lite: lite,
+		MaxTrainSamples: 500}
+}
+
+// workloadArchetype describes one function's trace pattern in the
+// cold-start ensemble, echoing the Azure mixture: mostly semi-periodic
+// rare functions, some episodic diurnal ones, a few dense seasonal ones.
+type workloadArchetype int
+
+const (
+	archPeriodic workloadArchetype = iota
+	archEpisodic
+	archDense
+)
+
+// ensembleTrace synthesizes the i-th ensemble member's trace. The mixture
+// is dominated by episodic workloads — short demand surges (tens of
+// invocations per minute for a few minutes) separated by long quiet gaps —
+// the minute-scale intermittency of the Azure traces that makes both
+// keep-alive cold starts and keep-alive memory waste large, with
+// semi-periodic (cron-like) members mixed in.
+func ensembleTrace(i, traceMin int, seed int64) *trace.Trace {
+	rng := stats.NewRNG(seed + int64(i)*101)
+	arch := archPeriodic
+	if i%3 == 2 {
+		arch = archEpisodic
+	}
+	switch arch {
+	case archPeriodic:
+		return trace.SynthesizePeriodic(trace.PeriodicGenConfig{
+			DurationMin: traceMin,
+			PeriodMin:   rng.Uniform(18, 45),
+			JitterFrac:  rng.Uniform(0.08, 0.2),
+			ClumpMean:   rng.Uniform(1.5, 3.5),
+			Diurnal:     rng.Uniform(0.3, 0.6),
+			TriggerType: rng.Intn(trace.NumTriggerTypes),
+			StartMinute: rng.Intn(trace.MinutesPerWeek),
+			Seed:        rng.Int63(),
+		})
+	default:
+		// Short Poisson-timed bursts: every invocation of a burst arrives
+		// within the cold window, so reactive policies pay full ramps.
+		return trace.Synthesize(trace.GenConfig{
+			DurationMin:          traceMin,
+			MeanRatePerMin:       rng.Uniform(0.05, 0.2),
+			Diurnal:              rng.Uniform(0.5, 0.8),
+			CV:                   rng.Uniform(1.5, 3),
+			BurstEpisodesPerHour: rng.Uniform(1, 3),
+			BurstDurationMin:     rng.Uniform(0.3, 1),
+			BurstMultiplier:      rng.Uniform(60, 150),
+			TriggerType:          rng.Intn(trace.NumTriggerTypes),
+			StartMinute:          rng.Intn(trace.MinutesPerWeek),
+			Seed:                 rng.Int63(),
+		})
+	}
+}
+
+// ensembleModel returns the i-th ensemble member's performance profile.
+func ensembleModel(i int, seed int64) *faas.SyntheticModel {
+	rng := stats.NewRNG(seed + int64(i)*211)
+	m := faas.DefaultSyntheticModel()
+	m.BaseExecSec = rng.Uniform(2, 8)
+	m.ColdInitSec = rng.Uniform(1.5, 4)
+	m.ColdExecPenalty = rng.Uniform(1.4, 2.2)
+	m.CPUShare = rng.Uniform(0.4, 0.9)
+	return m
+}
+
+// formatTable renders rows with aligned columns.
+func formatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f0(x float64) string  { return fmt.Sprintf("%.0f", x) }
+func oracle(x float64) string {
+	return fmt.Sprintf("%.0f%%", x*100)
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/bo"
+	"aquatope/internal/faas"
+	"aquatope/internal/resource"
+	"aquatope/internal/stats"
+)
+
+// Fig15Result reports robustness to irregular system noise: execution cost
+// (% oracle) as the background-interference level grows.
+type Fig15Result struct {
+	Levels   []int
+	CLITE    []float64
+	AquaLite []float64
+	Aquatope []float64
+}
+
+// Table renders the three series.
+func (r Fig15Result) Table() string {
+	rows := make([][]string, len(r.Levels))
+	for i := range r.Levels {
+		rows[i] = []string{fmt.Sprintf("%d", r.Levels[i]),
+			f0(r.CLITE[i]) + "%", f0(r.AquaLite[i]) + "%", f0(r.Aquatope[i]) + "%"}
+	}
+	return formatTable([]string{"Noise", "CLITE", "AquaLite", "Aquatope"}, rows)
+}
+
+// Fig15 injects intermittent background jobs (irregular, non-Gaussian
+// interference) into the ML pipeline's profiling environment at growing
+// intensity, and measures the final cost found by CLITE, AquaLite (noise-
+// unaware BO) and Aquatope (noise-aware BO with anomaly pruning).
+func Fig15(s Scale) Fig15Result {
+	a := apps.NewMLPipeline()
+	_, oracleCost, _, _, ok := solveOracle(a, s.Seed)
+	if !ok {
+		return Fig15Result{}
+	}
+	evalProf := resource.NewProfiler(a, s.Seed+500)
+	res := Fig15Result{}
+	for level := 0; level <= 4; level++ {
+		// Interference must stay intermittent: the rate is per invocation
+		// and a workflow sample aggregates ~15 invocations, so even small
+		// per-invocation rates give a sizable share of corrupted samples.
+		noise := faas.Noise{
+			GaussianStd:  0.1,
+			OutlierRate:  0.012 * float64(level),
+			OutlierScale: 3 + 1.5*float64(level),
+		}
+		run := func(mk func(sp *resource.Space, p *resource.Profiler, q float64, seed int64) resource.Manager) float64 {
+			var sum float64
+			var n int
+			for rep := 0; rep < s.Repeats; rep++ {
+				seed := s.Seed + int64(rep)*91
+				prof := resource.NewProfiler(a, seed)
+				prof.Noise = noise
+				m := mk(resource.NewSpace(a), prof, a.QoS, seed)
+				resource.Search(m, s.SearchBudget)
+				if cfg, _, okB := m.Best(); okB {
+					if c, feasible := evalTrue(evalProf, cfg, a.QoS); feasible {
+						sum += c
+						n++
+					}
+				}
+			}
+			if n == 0 {
+				return math.NaN()
+			}
+			return sum / float64(n) / oracleCost * 100
+		}
+		res.Levels = append(res.Levels, level)
+		res.CLITE = append(res.CLITE, run(managerFactories()["clite"]))
+		res.AquaLite = append(res.AquaLite, run(func(sp *resource.Space, p *resource.Profiler, q float64, seed int64) resource.Manager {
+			return resource.NewAquaLite(sp, p, q, seed)
+		}))
+		res.Aquatope = append(res.Aquatope, run(managerFactories()["aquatope"]))
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+
+// Fig16Result traces Aquatope's adaptation to workload behaviour changes:
+// performance (oracle cost / current best cost, %) per profiled sample,
+// with the change points marked.
+type Fig16Result struct {
+	Performance  []float64 // % of oracle-optimal (100 = optimal), per sample index
+	ChangePoints []int
+	ChangeEvents int // change resets detected by the engine
+}
+
+// Table renders a decimated trajectory.
+func (r Fig16Result) Table() string {
+	rows := [][]string{}
+	for i := 0; i < len(r.Performance); i += 3 {
+		mark := ""
+		for _, cp := range r.ChangePoints {
+			if i >= cp && i < cp+3 {
+				mark = "<- input change"
+			}
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", i), f0(r.Performance[i]) + "%", mark})
+	}
+	out := formatTable([]string{"Samples", "Perf(%Oracle)", ""}, rows)
+	out += fmt.Sprintf("change events detected: %d\n", r.ChangeEvents)
+	return out
+}
+
+// Fig16 runs the video pipeline's search while the input format/size
+// changes mid-run (InputScale jumps); the engine's anomaly burst detection
+// should trigger incremental retraining and performance should recover
+// within ~20 samples.
+func Fig16(s Scale) Fig16Result {
+	a := apps.NewVideoProcessing()
+	space := resource.NewSpace(a)
+	prof := resource.NewProfiler(a, s.Seed)
+	prof.Noise = faas.Noise{GaussianStd: 0.1}
+
+	// Oracle cost for each phase (input scale 1 then 3).
+	oracles := make(map[float64]float64)
+	for _, scale := range []float64{1, 3} {
+		p2 := resource.NewProfiler(a, s.Seed)
+		p2.InputScale = scale
+		or := resource.NewOracle(space, p2, a.QoS, s.Seed)
+		or.MaxGrid = 1
+		or.Repeats = 3
+		if _, c, ok := or.Solve(); ok {
+			oracles[scale] = c
+		}
+	}
+
+	eng := bo.New(bo.Config{Dim: space.Dim(), QoS: a.QoS, Seed: s.Seed,
+		SlidingWindow: 40, ChangeBurst: 6, AnomalyZ: 2.5})
+	evalProf := resource.NewProfiler(a, s.Seed+500)
+
+	totalSamples := 3 * s.SearchBudget
+	changeAt := totalSamples / 2
+	res := Fig16Result{ChangePoints: []int{changeAt}}
+	scale := 1.0
+	samples := 0
+	for samples < totalSamples {
+		if samples >= changeAt && scale == 1 {
+			scale = 3 // behaviour change: input format/size triples
+		}
+		prof.InputScale = scale
+		batch := eng.Suggest()
+		obs := make([]bo.Observation, 0, len(batch))
+		for _, x := range batch {
+			cfgs, err := space.Decode(x)
+			if err != nil {
+				panic(err)
+			}
+			cost, lat := prof.Sample(cfgs)
+			obs = append(obs, bo.Observation{X: x, Cost: cost, Latency: lat})
+		}
+		eng.Observe(obs)
+		samples += len(obs)
+
+		perf := 0.0
+		if x, _, ok := eng.BestFeasible(); ok {
+			cfgs, _ := space.Decode(x)
+			evalProf.InputScale = scale
+			c, l := evalProf.SampleNoiseless(cfgs, 2)
+			if l <= a.QoS && c > 0 {
+				perf = oracles[scale] / c * 100
+				if perf > 100 {
+					perf = 100
+				}
+			}
+		}
+		for i := 0; i < len(obs); i++ {
+			res.Performance = append(res.Performance, perf)
+		}
+	}
+	res.ChangeEvents = eng.ChangeEvents()
+	return res
+}
+
+// RecoverySamples returns how many samples after the change point the
+// performance needed to get back to the given threshold (%), or -1.
+func (r Fig16Result) RecoverySamples(threshold float64) int {
+	if len(r.ChangePoints) == 0 {
+		return -1
+	}
+	cp := r.ChangePoints[0]
+	for i := cp; i < len(r.Performance); i++ {
+		if r.Performance[i] >= threshold {
+			return i - cp
+		}
+	}
+	return -1
+}
+
+var _ = stats.Mean // reserved for aggregate variants

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/faas"
+	"aquatope/internal/resource"
+	"aquatope/internal/stats"
+)
+
+// evalApps returns the five evaluation applications.
+func evalApps(seed int64) []*apps.App { return apps.All(seed) }
+
+// profileNoise is the default platform noise during configuration search.
+var profileNoise = faas.Noise{GaussianStd: 0.15, OutlierRate: 0.02, OutlierScale: 3}
+
+// managerFactories is the Fig. 12/13 lineup.
+func managerFactories() map[string]func(space *resource.Space, prof *resource.Profiler, qos float64, seed int64) resource.Manager {
+	return map[string]func(space *resource.Space, prof *resource.Profiler, qos float64, seed int64) resource.Manager{
+		"random": func(sp *resource.Space, p *resource.Profiler, q float64, seed int64) resource.Manager {
+			return resource.NewRandom(sp, p, q, seed)
+		},
+		"autoscale": func(sp *resource.Space, p *resource.Profiler, q float64, seed int64) resource.Manager {
+			return resource.NewAutoscale(sp, p, q, seed)
+		},
+		"clite": func(sp *resource.Space, p *resource.Profiler, q float64, seed int64) resource.Manager {
+			return resource.NewCLITE(sp, p, q, seed)
+		},
+		"aquatope": func(sp *resource.Space, p *resource.Profiler, q float64, seed int64) resource.Manager {
+			return resource.NewAquatope(sp, p, q, seed)
+		},
+	}
+}
+
+var managerOrder = []string{"random", "autoscale", "clite", "aquatope"}
+
+// evalTrue re-evaluates a chosen configuration noiselessly and reports
+// whether it truly meets QoS — the managers' own feasibility judgements
+// are made under noise, so a "best feasible" pick can violate in truth.
+func evalTrue(prof *resource.Profiler, cfg map[string]faas.ResourceConfig, qos float64) (cost float64, feasible bool) {
+	cpu, mem, lat := prof.SampleNoiselessComponents(cfg, 3)
+	return prof.CPUWeight*cpu + prof.MemWeight*mem, lat <= qos
+}
+
+// solveOracle returns the oracle's cost components for an app.
+func solveOracle(a *apps.App, seed int64) (cfg map[string]faas.ResourceConfig, cost, cpu, mem float64, ok bool) {
+	space := resource.NewSpace(a)
+	prof := resource.NewProfiler(a, seed)
+	or := resource.NewOracle(space, prof, a.QoS, seed)
+	or.MaxGrid = 1 // coordinate descent: tractable on every app
+	or.Repeats = 3
+	cfg, cost, ok = or.Solve()
+	if !ok {
+		return nil, 0, 0, 0, false
+	}
+	cpu, mem, _ = prof.SampleNoiselessComponents(cfg, 4)
+	return cfg, cost, cpu, mem, true
+}
+
+// ---------------------------------------------------------------------------
+
+// Fig12Result holds the cost-vs-budget convergence curves per app and
+// manager, normalized to the oracle cost (values ≥ 1).
+type Fig12Result struct {
+	Apps     []string
+	Budgets  []int                           // sample counts at measurement points
+	Curves   map[string]map[string][]float64 // app -> manager -> % oracle per budget point
+	OracleAt map[string]float64
+}
+
+// Table renders one block per app.
+func (r Fig12Result) Table() string {
+	var out string
+	for _, app := range r.Apps {
+		rows := [][]string{}
+		for _, m := range managerOrder {
+			row := []string{m}
+			for _, v := range r.Curves[app][m] {
+				row = append(row, f0(v*100)+"%")
+			}
+			rows = append(rows, row)
+		}
+		header := []string{app + " @samples"}
+		for _, b := range r.Budgets {
+			header = append(header, fmt.Sprintf("%d", b))
+		}
+		out += formatTable(header, rows) + "\n"
+	}
+	return out
+}
+
+// Fig12 measures convergence: best-feasible cost (noiselessly re-evaluated)
+// as the search budget grows, for each workflow and manager.
+func Fig12(s Scale) Fig12Result {
+	res := Fig12Result{
+		Curves:   make(map[string]map[string][]float64),
+		OracleAt: make(map[string]float64),
+	}
+	budget := s.SearchBudget
+	checkpoints := []int{budget / 5, 2 * budget / 5, 3 * budget / 5, 4 * budget / 5, budget}
+	res.Budgets = checkpoints
+	for _, a := range evalApps(s.Seed) {
+		res.Apps = append(res.Apps, a.Name)
+		_, oracleCost, _, _, ok := solveOracle(a, s.Seed)
+		if !ok {
+			continue
+		}
+		res.OracleAt[a.Name] = oracleCost
+		res.Curves[a.Name] = make(map[string][]float64)
+		evalProf := resource.NewProfiler(a, s.Seed+500)
+		for name, mk := range managerFactories() {
+			curves := make([][]float64, 0, s.Repeats)
+			for rep := 0; rep < s.Repeats; rep++ {
+				seed := s.Seed + int64(rep)*37
+				prof := resource.NewProfiler(a, seed)
+				prof.Noise = profileNoise
+				m := mk(resource.NewSpace(a), prof, a.QoS, seed)
+				curve := make([]float64, len(checkpoints))
+				ci := 0
+				bestTrue := math.Inf(1)
+				lastEvaluated := ""
+				for m.Samples() < budget && ci < len(checkpoints) {
+					if m.Step() == 0 {
+						break
+					}
+					for ci < len(checkpoints) && m.Samples() >= checkpoints[ci] {
+						if cfg, _, ok := m.Best(); ok {
+							key := fmt.Sprint(cfg)
+							if key != lastEvaluated {
+								// Count only configurations that truly
+								// meet QoS when re-measured noiselessly.
+								if c, feasible := evalTrue(evalProf, cfg, a.QoS); feasible && c < bestTrue {
+									bestTrue = c
+								}
+								lastEvaluated = key
+							}
+						}
+						curve[ci] = bestTrue / oracleCost
+						ci++
+					}
+				}
+				for ; ci < len(checkpoints); ci++ {
+					curve[ci] = bestTrue / oracleCost
+				}
+				curves = append(curves, curve)
+			}
+			// Mean across repetitions, ignoring infinities (no feasible yet).
+			agg := make([]float64, len(checkpoints))
+			for i := range agg {
+				var sum float64
+				var n int
+				for _, c := range curves {
+					if !math.IsInf(c[i], 1) && c[i] > 0 {
+						sum += c[i]
+						n++
+					}
+				}
+				if n > 0 {
+					agg[i] = sum / float64(n)
+				} else {
+					agg[i] = math.Inf(1)
+				}
+			}
+			res.Curves[a.Name][name] = agg
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+
+// Fig13Result reports final CPU-time and memory-time (relative to the
+// oracle) per app and manager.
+type Fig13Result struct {
+	Apps []string
+	// CPUPct/MemPct: app -> manager -> %-of-oracle.
+	CPUPct, MemPct map[string]map[string]float64
+	ViolationRate  map[string]map[string]float64
+}
+
+// Table renders the two panels.
+func (r Fig13Result) Table() string {
+	var out string
+	for _, metric := range []struct {
+		name string
+		m    map[string]map[string]float64
+	}{{"CPU time (% oracle)", r.CPUPct}, {"Memory time (% oracle)", r.MemPct}} {
+		rows := [][]string{}
+		for _, app := range r.Apps {
+			row := []string{app}
+			for _, mgr := range managerOrder {
+				v := metric.m[app][mgr]
+				if v == 0 {
+					// No repetition of this manager produced a truly
+					// QoS-feasible configuration.
+					row = append(row, "n/a")
+					continue
+				}
+				row = append(row, f0(v)+"%")
+			}
+			rows = append(rows, row)
+		}
+		out += metric.name + "\n" + formatTable(append([]string{"App"}, managerOrder...), rows) + "\n"
+	}
+	return out
+}
+
+// Fig13 runs every manager to the full budget on every app (Repeats times)
+// and reports the chosen configuration's noiseless CPU/memory time
+// relative to the oracle. For random search, the best of all repetitions
+// is used, per the paper's methodology.
+func Fig13(s Scale) Fig13Result {
+	res := Fig13Result{
+		CPUPct:        make(map[string]map[string]float64),
+		MemPct:        make(map[string]map[string]float64),
+		ViolationRate: make(map[string]map[string]float64),
+	}
+	for _, a := range evalApps(s.Seed) {
+		res.Apps = append(res.Apps, a.Name)
+		_, _, oCPU, oMem, ok := solveOracle(a, s.Seed)
+		if !ok {
+			continue
+		}
+		res.CPUPct[a.Name] = make(map[string]float64)
+		res.MemPct[a.Name] = make(map[string]float64)
+		res.ViolationRate[a.Name] = make(map[string]float64)
+		evalProf := resource.NewProfiler(a, s.Seed+500)
+		for name, mk := range managerFactories() {
+			var cpus, mems []float64
+			viol := 0
+			bestRandomCost := math.Inf(1)
+			var bestRandom map[string]faas.ResourceConfig
+			for rep := 0; rep < s.Repeats; rep++ {
+				seed := s.Seed + int64(rep)*61
+				prof := resource.NewProfiler(a, seed)
+				prof.Noise = profileNoise
+				m := mk(resource.NewSpace(a), prof, a.QoS, seed)
+				resource.Search(m, s.SearchBudget)
+				cfg, _, okB := m.Best()
+				if !okB {
+					continue
+				}
+				cpu, mem, lat := evalProf.SampleNoiselessComponents(cfg, 4)
+				if name == "random" {
+					// Paper: best of all random trials.
+					if c := cpu + mem; c < bestRandomCost && lat <= a.QoS {
+						bestRandomCost = c
+						bestRandom = cfg
+					}
+					continue
+				}
+				if lat > a.QoS {
+					// A truly-violating pick does not contribute a cost
+					// sample (the paper's managers all meet QoS); it is
+					// reported through the violation rate instead.
+					viol++
+					continue
+				}
+				cpus = append(cpus, cpu)
+				mems = append(mems, mem)
+			}
+			if name == "random" && bestRandom != nil {
+				cpu, mem, _ := evalProf.SampleNoiselessComponents(bestRandom, 4)
+				cpus, mems = []float64{cpu}, []float64{mem}
+			}
+			if len(cpus) > 0 {
+				res.CPUPct[a.Name][name] = stats.Mean(cpus) / oCPU * 100
+				res.MemPct[a.Name][name] = stats.Mean(mems) / oMem * 100
+				res.ViolationRate[a.Name][name] = float64(viol) / float64(s.Repeats)
+			}
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+
+// Fig14Result compares CLITE and Aquatope as the workflow gets harder:
+// (a) more chained stages; (b) more execution-time variability.
+type Fig14Result struct {
+	Labels   []string
+	CLITE    []float64 // % oracle
+	Aquatope []float64
+}
+
+// Table renders the comparison.
+func (r Fig14Result) Table() string {
+	rows := make([][]string, len(r.Labels))
+	for i := range r.Labels {
+		rows[i] = []string{r.Labels[i], f0(r.CLITE[i]) + "%", f0(r.Aquatope[i]) + "%"}
+	}
+	return formatTable([]string{"Case", "CLITE", "Aquatope"}, rows)
+}
+
+// Fig14a sweeps the chain length (1, 3, 5 stages).
+func Fig14a(s Scale) Fig14Result {
+	res := Fig14Result{}
+	for _, n := range []int{1, 3, 5} {
+		a := apps.NewChain(n)
+		c, q := headToHead(s, a, 0)
+		res.Labels = append(res.Labels, fmt.Sprintf("N=%d", n))
+		res.CLITE = append(res.CLITE, c)
+		res.Aquatope = append(res.Aquatope, q)
+	}
+	return res
+}
+
+// Fig14b sweeps execution-time variability on a single-stage workflow.
+func Fig14b(s Scale) Fig14Result {
+	res := Fig14Result{}
+	for _, cv := range []float64{0, 0.5, 1} {
+		a := apps.NewChain(1)
+		c, q := headToHead(s, a, cv)
+		res.Labels = append(res.Labels, fmt.Sprintf("CV=%.1f", cv))
+		res.CLITE = append(res.CLITE, c)
+		res.Aquatope = append(res.Aquatope, q)
+	}
+	return res
+}
+
+// headToHead runs CLITE and Aquatope on an app and returns their final
+// %-oracle costs (mean over repetitions).
+func headToHead(s Scale, a *apps.App, execStd float64) (clitePct, aquaPct float64) {
+	_, oracleCost, _, _, ok := solveOracle(a, s.Seed)
+	if !ok {
+		return math.NaN(), math.NaN()
+	}
+	evalProf := resource.NewProfiler(a, s.Seed+500)
+	run := func(mk func(sp *resource.Space, p *resource.Profiler, q float64, seed int64) resource.Manager) float64 {
+		var sum float64
+		var n int
+		for rep := 0; rep < s.Repeats; rep++ {
+			seed := s.Seed + int64(rep)*73
+			prof := resource.NewProfiler(a, seed)
+			prof.Noise = profileNoise
+			prof.ExecTimeStd = execStd
+			m := mk(resource.NewSpace(a), prof, a.QoS, seed)
+			resource.Search(m, s.SearchBudget)
+			if cfg, _, okB := m.Best(); okB {
+				if c, feasible := evalTrue(evalProf, cfg, a.QoS); feasible {
+					sum += c
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return math.NaN()
+		}
+		return sum / float64(n) / oracleCost * 100
+	}
+	fac := managerFactories()
+	return run(fac["clite"]), run(fac["aquatope"])
+}

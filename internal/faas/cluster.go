@@ -1,0 +1,607 @@
+package faas
+
+import (
+	"fmt"
+	"math"
+
+	"aquatope/internal/sim"
+	"aquatope/internal/stats"
+)
+
+// Noise models platform interference (§2.2 "Uncertainty in FaaS"): Gaussian
+// execution-time jitter plus irregular heavy outliers from colocated
+// background jobs.
+type Noise struct {
+	// GaussianStd is the relative standard deviation of inherent noise.
+	GaussianStd float64
+	// OutlierRate is the per-invocation probability of an interference
+	// spike (non-Gaussian noise).
+	OutlierRate float64
+	// OutlierScale is the maximum slowdown multiplier of a spike.
+	OutlierScale float64
+}
+
+// apply perturbs a nominal execution time.
+func (n Noise) apply(t float64, rng *stats.RNG) float64 {
+	if n.GaussianStd > 0 {
+		t *= math.Max(0.1, 1+rng.Normal(0, n.GaussianStd))
+	}
+	if n.OutlierRate > 0 && rng.Bernoulli(n.OutlierRate) {
+		hi := n.OutlierScale
+		if hi < 1.5 {
+			hi = 1.5
+		}
+		t *= rng.Uniform(1.5, hi)
+	}
+	return t
+}
+
+// Invoker is one worker server hosting containers.
+type Invoker struct {
+	ID int
+	// CPUCapacity in cores and MemoryCapacityMB bound colocation.
+	CPUCapacity      float64
+	MemoryCapacityMB float64
+
+	cluster    *Cluster
+	containers map[*container]struct{}
+	memUsedMB  float64
+	cpuBusy    float64
+}
+
+// MemoryInUseMB returns the memory currently claimed by containers.
+func (iv *Invoker) MemoryInUseMB() float64 { return iv.memUsedMB }
+
+// function is the cluster-side state of a registered function.
+type function struct {
+	spec          FunctionSpec
+	cfg           ResourceConfig
+	keepAlive     float64
+	prewarmTarget int
+	// containers across all invokers, by state bookkeeping.
+	idle    []*container
+	warming []*container // not yet reserved
+	busyN   int
+	// inFlight counts invocations dispatched to a container (possibly
+	// still warming) but not yet completed; the concurrency limit is
+	// enforced against it.
+	inFlight int
+	// queue of invocations waiting for concurrency or capacity.
+	queue []*pendingInvocation
+	// reserved warming containers mapped to their waiters.
+	nextContainerID int
+}
+
+type pendingInvocation struct {
+	inputSize float64
+	submitAt  float64
+	done      func(InvocationResult)
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Invokers is the number of worker servers (paper: 6 workers).
+	Invokers int
+	// CPUPerInvoker is each worker's core count.
+	CPUPerInvoker float64
+	// MemoryPerInvokerMB is each worker's container memory capacity.
+	MemoryPerInvokerMB float64
+	// DefaultKeepAlive is the idle container lifetime (providers: 10 min).
+	DefaultKeepAlive float64
+	// Noise is the platform interference model.
+	Noise Noise
+	Seed  int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Invokers <= 0 {
+		c.Invokers = 6
+	}
+	if c.CPUPerInvoker <= 0 {
+		c.CPUPerInvoker = 40
+	}
+	if c.MemoryPerInvokerMB <= 0 {
+		c.MemoryPerInvokerMB = 128 * 1024
+	}
+	if c.DefaultKeepAlive <= 0 {
+		c.DefaultKeepAlive = 600
+	}
+	return c
+}
+
+// Cluster is the simulated FaaS platform.
+type Cluster struct {
+	cfg      Config
+	eng      *sim.Engine
+	rng      *stats.RNG
+	invokers []*Invoker
+	fns      map[string]*function
+	fnOrder  []string
+	metrics  *Metrics
+	draining bool // reentrancy guard for queue draining
+}
+
+// NewCluster builds a cluster on the given simulation engine.
+func NewCluster(eng *sim.Engine, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:     cfg,
+		eng:     eng,
+		rng:     stats.NewRNG(cfg.Seed),
+		fns:     make(map[string]*function),
+		metrics: NewMetrics(),
+	}
+	for i := 0; i < cfg.Invokers; i++ {
+		c.invokers = append(c.invokers, &Invoker{
+			ID:               i,
+			CPUCapacity:      cfg.CPUPerInvoker,
+			MemoryCapacityMB: cfg.MemoryPerInvokerMB,
+			cluster:          c,
+			containers:       make(map[*container]struct{}),
+		})
+	}
+	return c
+}
+
+// Engine returns the underlying simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Metrics returns the cluster's metric accumulator.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// Invokers returns the cluster's worker servers.
+func (c *Cluster) Invokers() []*Invoker { return c.invokers }
+
+// RegisterFunction adds a function with an initial resource configuration.
+func (c *Cluster) RegisterFunction(spec FunctionSpec, cfg ResourceConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if _, dup := c.fns[spec.Name]; dup {
+		return fmt.Errorf("faas: duplicate function %q", spec.Name)
+	}
+	c.fns[spec.Name] = &function{spec: spec, cfg: cfg, keepAlive: c.cfg.DefaultKeepAlive}
+	c.fnOrder = append(c.fnOrder, spec.Name)
+	return nil
+}
+
+// SetResourceConfig updates a function's container configuration; new
+// containers use it, existing ones keep theirs (matching OpenWhisk, where
+// configuration changes roll out with container churn).
+func (c *Cluster) SetResourceConfig(name string, cfg ResourceConfig) error {
+	fn, ok := c.fns[name]
+	if !ok {
+		return fmt.Errorf("faas: unknown function %q", name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	fn.cfg = cfg
+	return nil
+}
+
+// ResourceConfigOf returns the function's current configuration.
+func (c *Cluster) ResourceConfigOf(name string) (ResourceConfig, bool) {
+	fn, ok := c.fns[name]
+	if !ok {
+		return ResourceConfig{}, false
+	}
+	return fn.cfg, true
+}
+
+// SetKeepAlive sets the idle-container keep-alive duration for a function.
+func (c *Cluster) SetKeepAlive(name string, seconds float64) error {
+	fn, ok := c.fns[name]
+	if !ok {
+		return fmt.Errorf("faas: unknown function %q", name)
+	}
+	fn.keepAlive = seconds
+	// Re-arm idle timers with the new horizon.
+	for _, ct := range fn.idle {
+		c.armIdleTimer(ct)
+	}
+	return nil
+}
+
+// Functions returns the registered function names in registration order.
+func (c *Cluster) Functions() []string { return append([]string(nil), c.fnOrder...) }
+
+// Demand returns the function's instantaneous demand: invocations running
+// or reserved on containers plus those queued — the quantity the container
+// pool must cover to avoid cold starts.
+func (c *Cluster) Demand(name string) int {
+	fn, ok := c.fns[name]
+	if !ok {
+		return 0
+	}
+	return fn.inFlight + len(fn.queue)
+}
+
+// WarmCount returns (idle, warming, busy) container counts for a function.
+func (c *Cluster) WarmCount(name string) (idle, warming, busy int) {
+	fn, ok := c.fns[name]
+	if !ok {
+		return 0, 0, 0
+	}
+	return len(fn.idle), len(fn.warming), fn.busyN
+}
+
+// SetPrewarmTarget instructs the cluster to keep n containers alive for the
+// function (the dynamic pre-warmed container pool interface, §4.3): missing
+// containers are created proactively; surplus idle ones are terminated.
+func (c *Cluster) SetPrewarmTarget(name string, n int) error {
+	fn, ok := c.fns[name]
+	if !ok {
+		return fmt.Errorf("faas: unknown function %q", name)
+	}
+	if n < 0 {
+		n = 0
+	}
+	fn.prewarmTarget = n
+	alive := len(fn.idle) + len(fn.warming) + fn.busyN
+	if alive < n {
+		for i := 0; i < n-alive; i++ {
+			ct := c.spawnContainer(fn, true)
+			if ct == nil {
+				break // out of capacity
+			}
+		}
+	} else if alive > n {
+		// Terminate surplus idle containers, least recently used first.
+		surplus := alive - n
+		for surplus > 0 && len(fn.idle) > 0 {
+			ct := c.lruIdle(fn)
+			c.killContainer(ct)
+			surplus--
+		}
+	}
+	return nil
+}
+
+// lruIdle returns the least-recently-used idle container of fn.
+func (c *Cluster) lruIdle(fn *function) *container {
+	var lru *container
+	for _, ct := range fn.idle {
+		if lru == nil || ct.lastUsed < lru.lastUsed {
+			lru = ct
+		}
+	}
+	return lru
+}
+
+// Invoke submits an invocation; done is called on completion (may be nil).
+func (c *Cluster) Invoke(name string, inputSize float64, done func(InvocationResult)) error {
+	fn, ok := c.fns[name]
+	if !ok {
+		return fmt.Errorf("faas: unknown function %q", name)
+	}
+	p := &pendingInvocation{inputSize: inputSize, submitAt: c.eng.Now(), done: done}
+	c.dispatch(fn, p)
+	return nil
+}
+
+// dispatch places an invocation on a container or queues it.
+func (c *Cluster) dispatch(fn *function, p *pendingInvocation) {
+	limit := fn.cfg.Concurrency
+	if limit > 0 && fn.inFlight >= limit {
+		fn.queue = append(fn.queue, p)
+		return
+	}
+	// 1. Idle warm container → warm start.
+	if len(fn.idle) > 0 {
+		ct := fn.idle[len(fn.idle)-1]
+		fn.idle = fn.idle[:len(fn.idle)-1]
+		fn.inFlight++
+		c.runOn(ct, p, false)
+		return
+	}
+	// 2. Unreserved warming container → wait for it (cold experience).
+	if len(fn.warming) > 0 {
+		ct := fn.warming[len(fn.warming)-1]
+		fn.warming = fn.warming[:len(fn.warming)-1]
+		fn.inFlight++
+		wait := ct.warmAt - c.eng.Now()
+		if wait < 0 {
+			wait = 0
+		}
+		c.eng.After(wait, func() { c.runOn(ct, p, true) })
+		return
+	}
+	// 3. New container → cold start.
+	ct := c.spawnContainer(fn, false)
+	if ct == nil {
+		// No capacity anywhere: queue until a container dies.
+		fn.queue = append(fn.queue, p)
+		return
+	}
+	// Reserve it immediately.
+	fn.warming = fn.warming[:len(fn.warming)-1]
+	fn.inFlight++
+	wait := ct.warmAt - c.eng.Now()
+	c.eng.After(wait, func() { c.runOn(ct, p, true) })
+}
+
+// spawnContainer creates a container on the best invoker, evicting idle
+// LRU containers cluster-wide if memory is tight. Returns nil when no
+// capacity can be freed. The new container is appended to fn.warming.
+func (c *Cluster) spawnContainer(fn *function, prewarmed bool) *container {
+	iv := c.pickInvoker(fn.cfg.MemoryMB)
+	for iv == nil {
+		if !c.evictOneIdle() {
+			return nil
+		}
+		iv = c.pickInvoker(fn.cfg.MemoryMB)
+	}
+	fn.nextContainerID++
+	ct := &container{
+		id:        fn.nextContainerID,
+		fn:        fn,
+		invoker:   iv,
+		state:     stateWarming,
+		cfg:       fn.cfg,
+		born:      c.eng.Now(),
+		prewarmed: prewarmed,
+	}
+	init := fn.spec.Model.InitTime(ct.cfg, c.rng)
+	ct.warmAt = c.eng.Now() + init
+	iv.containers[ct] = struct{}{}
+	iv.memUsedMB += ct.cfg.MemoryMB
+	fn.warming = append(fn.warming, ct)
+	c.metrics.containerCreated()
+	c.eng.Schedule(ct.warmAt, func() {
+		if ct.state != stateWarming {
+			return // reserved/killed meanwhile
+		}
+		// Only transition unreserved warming containers; reserved ones
+		// are driven by their waiter.
+		for i, w := range ct.fn.warming {
+			if w == ct {
+				ct.state = stateIdle
+				ct.fn.warming = append(ct.fn.warming[:i], ct.fn.warming[i+1:]...)
+				ct.fn.idle = append(ct.fn.idle, ct)
+				ct.lastUsed = c.eng.Now()
+				c.armIdleTimer(ct)
+				c.drainAllQueues()
+				return
+			}
+		}
+	})
+	return ct
+}
+
+// pickInvoker returns the invoker with the most free memory that fits memMB.
+func (c *Cluster) pickInvoker(memMB float64) *Invoker {
+	var best *Invoker
+	var bestFree float64
+	for _, iv := range c.invokers {
+		free := iv.MemoryCapacityMB - iv.memUsedMB
+		if free >= memMB && (best == nil || free > bestFree) {
+			best = iv
+			bestFree = free
+		}
+	}
+	return best
+}
+
+// evictOneIdle terminates the cluster-wide LRU idle container. It returns
+// false when no idle container exists.
+func (c *Cluster) evictOneIdle() bool {
+	var lru *container
+	for _, name := range c.fnOrder {
+		fn := c.fns[name]
+		for _, ct := range fn.idle {
+			if lru == nil || ct.lastUsed < lru.lastUsed {
+				lru = ct
+			}
+		}
+	}
+	if lru == nil {
+		return false
+	}
+	c.killContainer(lru)
+	return true
+}
+
+// runOn executes a pending invocation on a container.
+func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool) {
+	if ct.state == stateDead {
+		// Container was killed while the waiter slept; retry dispatch.
+		ct.fn.inFlight--
+		c.dispatch(ct.fn, p)
+		return
+	}
+	fn := ct.fn
+	if ct.idleTimer != nil {
+		ct.idleTimer.Cancel()
+		ct.idleTimer = nil
+	}
+	ct.state = stateBusy
+	fn.busyN++
+	cold := coldExperience || !ct.everUsed && !warmedAhead(ct, c.eng.Now())
+	ct.everUsed = true
+
+	start := c.eng.Now()
+	exec := fn.spec.Model.ExecTime(ct.cfg, cold, p.inputSize, c.rng)
+	// CPU contention: when the invoker's aggregate demand exceeds its
+	// capacity, running containers slow down proportionally.
+	iv := ct.invoker
+	iv.cpuBusy += ct.cfg.CPU
+	if iv.cpuBusy > iv.CPUCapacity {
+		exec *= iv.cpuBusy / iv.CPUCapacity
+	}
+	exec = c.cfg.Noise.apply(exec, c.rng)
+
+	c.eng.After(exec, func() {
+		iv.cpuBusy -= ct.cfg.CPU
+		fn.busyN--
+		fn.inFlight--
+		res := InvocationResult{
+			Function:   fn.spec.Name,
+			SubmitTime: p.submitAt,
+			StartTime:  start,
+			EndTime:    c.eng.Now(),
+			ColdStart:  cold,
+			WaitTime:   start - p.submitAt,
+			ExecTime:   exec,
+			CPU:        ct.cfg.CPU,
+			MemoryMB:   ct.cfg.MemoryMB,
+		}
+		c.metrics.record(res)
+		ct.state = stateIdle
+		ct.lastUsed = c.eng.Now()
+		fn.idle = append(fn.idle, ct)
+		c.armIdleTimer(ct)
+		if p.done != nil {
+			p.done(res)
+		}
+		c.drainAllQueues()
+	})
+}
+
+// warmedAhead reports whether the container finished initializing before
+// now (i.e., it was sitting warm when the invocation arrived).
+func warmedAhead(ct *container, now float64) bool {
+	return ct.warmAt <= now && ct.state != stateWarming
+}
+
+// drainQueue dispatches queued invocations while capacity allows.
+func (c *Cluster) drainQueue(fn *function) {
+	for len(fn.queue) > 0 {
+		limit := fn.cfg.Concurrency
+		if limit > 0 && fn.inFlight >= limit {
+			return
+		}
+		if len(fn.idle) == 0 && len(fn.warming) == 0 {
+			// Try to create capacity; if impossible, stay queued.
+			if c.pickInvoker(fn.cfg.MemoryMB) == nil && !c.hasIdleAnywhere() {
+				return
+			}
+		}
+		p := fn.queue[0]
+		fn.queue = fn.queue[1:]
+		c.dispatch(fn, p)
+	}
+}
+
+func (c *Cluster) hasIdleAnywhere() bool {
+	for _, name := range c.fnOrder {
+		if len(c.fns[name].idle) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// armIdleTimer schedules keep-alive termination for an idle container.
+// Pre-warm-pool-managed functions (prewarmTarget > 0) skip the timer; the
+// pool scheduler owns their lifecycle.
+func (c *Cluster) armIdleTimer(ct *container) {
+	if ct.idleTimer != nil {
+		ct.idleTimer.Cancel()
+		ct.idleTimer = nil
+	}
+	fn := ct.fn
+	if fn.prewarmTarget > 0 {
+		// Terminate only if above target.
+		alive := len(fn.idle) + len(fn.warming) + fn.busyN
+		if alive > fn.prewarmTarget && ct.state == stateIdle {
+			c.killContainer(ct)
+		}
+		return
+	}
+	if fn.keepAlive <= 0 {
+		c.killContainer(ct)
+		return
+	}
+	// Expire at lastUsed + keepAlive so that re-arming (e.g. after a
+	// keep-alive policy update) never extends a container's life.
+	deadline := ct.lastUsed + fn.keepAlive
+	delay := deadline - c.eng.Now()
+	if delay <= 0 {
+		c.killContainer(ct)
+		return
+	}
+	ct.idleTimer = c.eng.After(delay, func() {
+		if ct.state == stateIdle {
+			c.killContainer(ct)
+		}
+	})
+}
+
+// killContainer releases a container's resources and accounts its
+// memory-time.
+func (c *Cluster) killContainer(ct *container) {
+	if ct.state == stateDead {
+		return
+	}
+	fn := ct.fn
+	switch ct.state {
+	case stateIdle:
+		for i, w := range fn.idle {
+			if w == ct {
+				fn.idle = append(fn.idle[:i], fn.idle[i+1:]...)
+				break
+			}
+		}
+	case stateWarming:
+		for i, w := range fn.warming {
+			if w == ct {
+				fn.warming = append(fn.warming[:i], fn.warming[i+1:]...)
+				break
+			}
+		}
+	}
+	if ct.idleTimer != nil {
+		ct.idleTimer.Cancel()
+		ct.idleTimer = nil
+	}
+	ct.state = stateDead
+	delete(ct.invoker.containers, ct)
+	ct.invoker.memUsedMB -= ct.cfg.MemoryMB
+	c.metrics.containerDied(ct.cfg.MemoryMB, c.eng.Now()-ct.born)
+	// Freed capacity may unblock queued work.
+	c.drainAllQueues()
+}
+
+// drainAllQueues re-dispatches queued invocations across all functions. It
+// is reentrancy-guarded: dispatching can evict containers, whose death
+// hooks call back here.
+func (c *Cluster) drainAllQueues() {
+	if c.draining {
+		return
+	}
+	c.draining = true
+	defer func() { c.draining = false }()
+	for _, name := range c.fnOrder {
+		c.drainQueue(c.fns[name])
+	}
+}
+
+// Flush finalizes metrics for containers still alive (call at the end of a
+// simulation before reading memory-time).
+func (c *Cluster) Flush() {
+	now := c.eng.Now()
+	for _, iv := range c.invokers {
+		for ct := range iv.containers {
+			if ct.state != stateDead {
+				c.metrics.containerDied(ct.cfg.MemoryMB, now-ct.born)
+				ct.state = stateDead
+			}
+		}
+		iv.containers = make(map[*container]struct{})
+		iv.memUsedMB = 0
+	}
+	for _, name := range c.fnOrder {
+		fn := c.fns[name]
+		fn.idle, fn.warming = nil, nil
+	}
+}
+
+// AliveMemoryMB returns the memory currently held by live containers.
+func (c *Cluster) AliveMemoryMB() float64 {
+	var s float64
+	for _, iv := range c.invokers {
+		s += iv.memUsedMB
+	}
+	return s
+}

@@ -1,0 +1,33 @@
+package faas
+
+import "aquatope/internal/sim"
+
+// containerState tracks a container's lifecycle.
+type containerState int
+
+const (
+	stateWarming containerState = iota // being created / initializing
+	stateIdle                          // warm, waiting for work
+	stateBusy                          // executing an invocation
+	stateDead                          // terminated
+)
+
+// container is one function container on an invoker.
+type container struct {
+	id       int
+	fn       *function
+	invoker  *Invoker
+	state    containerState
+	cfg      ResourceConfig
+	born     float64 // creation time (memory accounting starts here)
+	warmAt   float64 // when initialization completed
+	lastUsed float64
+	// everUsed reports whether any invocation ran in this container; a
+	// container's first invocation is a cold start only if the invocation
+	// triggered (or waited on) its creation.
+	everUsed  bool
+	idleTimer *sim.Event
+	// prewarmed marks containers created proactively by the pool
+	// scheduler rather than on demand.
+	prewarmed bool
+}

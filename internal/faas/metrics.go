@@ -1,0 +1,71 @@
+package faas
+
+// Metrics accumulates the platform statistics the paper's evaluation
+// reports: cold/warm start counts, CPU-time and memory-time cost
+// components, and provisioned memory-time (how long container memory was
+// held, whether used or idle — the Fig. 9b metric).
+type Metrics struct {
+	Results []InvocationResult
+
+	ColdStarts int
+	WarmStarts int
+
+	// CPUTime is Σ cpuLimit × execTime over invocations (core-seconds).
+	CPUTime float64
+	// MemTime is Σ memLimit × execTime over invocations (GB-seconds).
+	MemTime float64
+	// ProvisionedMemTime is Σ memLimit × containerLifetime (GB-seconds):
+	// memory held by containers whether busy or idle.
+	ProvisionedMemTime float64
+
+	ContainersCreated int
+	ContainersKilled  int
+
+	// KeepResults controls whether per-invocation results are retained
+	// (slices can get large on long traces).
+	KeepResults bool
+}
+
+// NewMetrics returns an empty accumulator that retains per-invocation
+// results.
+func NewMetrics() *Metrics { return &Metrics{KeepResults: true} }
+
+func (m *Metrics) record(r InvocationResult) {
+	if m.KeepResults {
+		m.Results = append(m.Results, r)
+	}
+	if r.ColdStart {
+		m.ColdStarts++
+	} else {
+		m.WarmStarts++
+	}
+	m.CPUTime += r.CostCPUTime()
+	m.MemTime += r.CostMemTime()
+}
+
+func (m *Metrics) containerCreated() { m.ContainersCreated++ }
+
+func (m *Metrics) containerDied(memMB, lifetime float64) {
+	m.ContainersKilled++
+	if lifetime > 0 {
+		m.ProvisionedMemTime += memMB / 1024 * lifetime
+	}
+}
+
+// Invocations returns the total number of completed invocations.
+func (m *Metrics) Invocations() int { return m.ColdStarts + m.WarmStarts }
+
+// ColdStartRate returns the fraction of invocations that were cold starts.
+func (m *Metrics) ColdStartRate() float64 {
+	total := m.Invocations()
+	if total == 0 {
+		return 0
+	}
+	return float64(m.ColdStarts) / float64(total)
+}
+
+// Reset clears all counters.
+func (m *Metrics) Reset() {
+	keep := m.KeepResults
+	*m = Metrics{KeepResults: keep}
+}

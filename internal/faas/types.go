@@ -1,0 +1,95 @@
+// Package faas is a discrete-event simulator of an OpenWhisk-style
+// Function-as-a-Service platform: a controller load-balances invocations
+// over invokers (worker servers), each of which manages per-function
+// container pools with cold starts, keep-alive timers, pre-warming, memory
+// capacity, and configurable CPU/memory limits per container. It replaces
+// the paper's 7-server OpenWhisk deployment while reproducing the
+// observable behaviour the Aquatope scheduler depends on: cold/warm start
+// dynamics (including cascading cold starts across workflow stages),
+// resource-dependent execution times, provisioned memory-time accounting,
+// and injected interference noise.
+package faas
+
+import (
+	"fmt"
+
+	"aquatope/internal/stats"
+)
+
+// ResourceConfig is a per-function container configuration, mirroring the
+// CPU / memory / concurrency interface of major FaaS providers (§5.1).
+type ResourceConfig struct {
+	// CPU is the CPU limit in cores (fractions allowed).
+	CPU float64
+	// MemoryMB is the memory limit in megabytes.
+	MemoryMB float64
+	// Concurrency is the maximum number of simultaneously running
+	// containers for the function (per cluster). Zero means unlimited.
+	Concurrency int
+}
+
+// Validate reports whether the configuration is usable.
+func (c ResourceConfig) Validate() error {
+	if c.CPU <= 0 {
+		return fmt.Errorf("faas: non-positive CPU limit %v", c.CPU)
+	}
+	if c.MemoryMB <= 0 {
+		return fmt.Errorf("faas: non-positive memory limit %v", c.MemoryMB)
+	}
+	if c.Concurrency < 0 {
+		return fmt.Errorf("faas: negative concurrency %d", c.Concurrency)
+	}
+	return nil
+}
+
+// PerfModel describes how a function behaves under a resource
+// configuration. Implementations live in internal/apps; the simulator only
+// calls these hooks.
+type PerfModel interface {
+	// InitTime returns the container initialization time (runtime setup,
+	// dependency loading, execution-context warmup) in seconds for a cold
+	// container under cfg.
+	InitTime(cfg ResourceConfig, rng *stats.RNG) float64
+	// ExecTime returns the execution time in seconds of one invocation
+	// with the given input size under cfg. cold reports whether this is
+	// the first invocation in a fresh container (no cached execution
+	// context — SDK clients, models, connections — so cold runs are
+	// slower even after initialization, §2.2).
+	ExecTime(cfg ResourceConfig, cold bool, inputSize float64, rng *stats.RNG) float64
+	// BaseMemoryMB returns the function's minimum viable memory footprint;
+	// configurations below it thrash and time out.
+	BaseMemoryMB() float64
+}
+
+// FunctionSpec registers a function with the cluster.
+type FunctionSpec struct {
+	Name  string
+	Model PerfModel
+	// TriggerType is an external feature for the prediction model
+	// (0=HTTP, 1=object storage, 2=event hub, ...).
+	TriggerType int
+}
+
+// InvocationResult reports one completed invocation.
+type InvocationResult struct {
+	Function   string
+	SubmitTime float64
+	StartTime  float64 // when execution began (after any wait/init)
+	EndTime    float64
+	ColdStart  bool
+	WaitTime   float64 // queueing + container provisioning wait
+	ExecTime   float64
+	CPU        float64 // CPU limit during the run
+	MemoryMB   float64
+	Err        error
+}
+
+// Latency returns the invocation's end-to-end latency (submit to finish).
+func (r InvocationResult) Latency() float64 { return r.EndTime - r.SubmitTime }
+
+// CostCPUTime returns CPU-seconds consumed (CPU limit × execution time),
+// the CPU component of the paper's linear cost model.
+func (r InvocationResult) CostCPUTime() float64 { return r.CPU * r.ExecTime }
+
+// CostMemTime returns GB-seconds consumed.
+func (r InvocationResult) CostMemTime() float64 { return r.MemoryMB / 1024 * r.ExecTime }

@@ -1,0 +1,268 @@
+package gp
+
+import (
+	"errors"
+	"math"
+
+	"aquatope/internal/linalg"
+	"aquatope/internal/stats"
+)
+
+// GP is an exact Gaussian-process regressor with fixed (known) observation
+// noise, matching the paper's "fixed-noise GP models with Matérn(5/2)".
+// Targets are standardized internally; Posterior outputs are mapped back to
+// the original scale.
+type GP struct {
+	Kernel Kernel
+	// Noise is the observation noise variance in standardized target
+	// units, added to the kernel diagonal.
+	Noise float64
+
+	x     [][]float64
+	y     []float64 // standardized targets
+	yMean float64
+	yStd  float64
+
+	chol  *linalg.Matrix
+	alpha []float64
+}
+
+// New returns a GP with the given kernel and fixed noise variance.
+func New(k Kernel, noise float64) *GP {
+	if noise < 1e-9 {
+		noise = 1e-9
+	}
+	return &GP{Kernel: k, Noise: noise, yStd: 1}
+}
+
+// Len returns the number of fitted observations.
+func (g *GP) Len() int { return len(g.x) }
+
+// Fit conditions the GP on (X, y). It refits the target standardization and
+// recomputes the Cholesky factor. An error is returned if the kernel matrix
+// cannot be factored even with jitter.
+func (g *GP) Fit(X [][]float64, y []float64) error {
+	if len(X) != len(y) {
+		return errors.New("gp: X and y length mismatch")
+	}
+	if len(X) == 0 {
+		g.x, g.y = nil, nil
+		g.chol, g.alpha = nil, nil
+		return nil
+	}
+	g.x = X
+	scaled, mean, std := stats.Standardize(y)
+	g.y, g.yMean, g.yStd = scaled, mean, std
+	return g.refactor()
+}
+
+func (g *GP) refactor() error {
+	n := len(g.x)
+	K := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.Kernel.Eval(g.x[i], g.x[j])
+			K.Set(i, j, v)
+			K.Set(j, i, v)
+		}
+		K.Set(i, i, K.At(i, i)+g.Noise)
+	}
+	l, err := linalg.Cholesky(K)
+	if err != nil {
+		return err
+	}
+	g.chol = l
+	g.alpha = linalg.CholSolve(l, g.y)
+	return nil
+}
+
+// Posterior returns the predictive mean and variance (of the latent
+// function, excluding observation noise) at x, in original target units.
+func (g *GP) Posterior(x []float64) (mean, variance float64) {
+	if len(g.x) == 0 {
+		return g.yMean, g.yStd * g.yStd * g.Kernel.Eval(x, x)
+	}
+	ks := make([]float64, len(g.x))
+	for i, xi := range g.x {
+		ks[i] = g.Kernel.Eval(x, xi)
+	}
+	mu := linalg.Dot(ks, g.alpha)
+	v := linalg.SolveLower(g.chol, ks)
+	va := g.Kernel.Eval(x, x) - linalg.Dot(v, v)
+	if va < 0 {
+		va = 0
+	}
+	return mu*g.yStd + g.yMean, va * g.yStd * g.yStd
+}
+
+// PosteriorBatch returns the joint predictive mean vector and covariance
+// matrix over a batch of points, in original units. The joint posterior is
+// what lets the acquisition integrate over correlated fantasy outcomes.
+func (g *GP) PosteriorBatch(xs [][]float64) (mean []float64, cov *linalg.Matrix) {
+	q := len(xs)
+	mean = make([]float64, q)
+	cov = linalg.NewMatrix(q, q)
+	if len(g.x) == 0 {
+		for i := range xs {
+			mean[i] = g.yMean
+			for j := range xs {
+				cov.Set(i, j, g.yStd*g.yStd*g.Kernel.Eval(xs[i], xs[j]))
+			}
+		}
+		return mean, cov
+	}
+	n := len(g.x)
+	// vMat[i] = L^{-1} k(X, xs[i])
+	vMat := make([][]float64, q)
+	for i, x := range xs {
+		ks := make([]float64, n)
+		for r, xr := range g.x {
+			ks[r] = g.Kernel.Eval(x, xr)
+		}
+		mean[i] = linalg.Dot(ks, g.alpha)*g.yStd + g.yMean
+		vMat[i] = linalg.SolveLower(g.chol, ks)
+	}
+	for i := 0; i < q; i++ {
+		for j := i; j < q; j++ {
+			c := g.Kernel.Eval(xs[i], xs[j]) - linalg.Dot(vMat[i], vMat[j])
+			c *= g.yStd * g.yStd
+			if i == j && c < 0 {
+				c = 0
+			}
+			cov.Set(i, j, c)
+			cov.Set(j, i, c)
+		}
+	}
+	return mean, cov
+}
+
+// SampleJoint draws nSamples correlated function values at the batch points
+// using the joint posterior and externally supplied standard-normal draws
+// (e.g. from a Sobol sequence): draws[s] must have length len(xs).
+func (g *GP) SampleJoint(xs [][]float64, draws [][]float64) [][]float64 {
+	mean, cov := g.PosteriorBatch(xs)
+	q := len(xs)
+	l, err := linalg.Cholesky(cov)
+	if err != nil {
+		// Degenerate covariance: fall back to independent marginals.
+		l = linalg.NewMatrix(q, q)
+		for i := 0; i < q; i++ {
+			l.Set(i, i, math.Sqrt(math.Max(cov.At(i, i), 0)))
+		}
+	}
+	out := make([][]float64, len(draws))
+	for s, z := range draws {
+		v := make([]float64, q)
+		for i := 0; i < q; i++ {
+			var acc float64
+			for j := 0; j <= i; j++ {
+				acc += l.At(i, j) * z[j]
+			}
+			v[i] = mean[i] + acc
+		}
+		out[s] = v
+	}
+	return out
+}
+
+// LogMarginalLikelihood returns the log evidence of the fitted data under
+// the current hyperparameters (standardized scale).
+func (g *GP) LogMarginalLikelihood() float64 {
+	if g.chol == nil {
+		return math.Inf(-1)
+	}
+	n := float64(len(g.y))
+	return -0.5*linalg.Dot(g.y, g.alpha) - 0.5*linalg.LogDetFromChol(g.chol) - 0.5*n*math.Log(2*math.Pi)
+}
+
+// FitHyperparameters maximizes the log marginal likelihood over the kernel's
+// log-hyperparameters with multi-start coordinate search (robust and
+// derivative-free; the kernel matrices here are small, tens of points). The
+// GP must already be fitted; the best hyperparameters are installed and the
+// factorization refreshed.
+func (g *GP) FitHyperparameters(rng *stats.RNG, restarts int) {
+	if len(g.x) == 0 {
+		return
+	}
+	dim := len(g.Kernel.Hyperparameters())
+	evalAt := func(h []float64) float64 {
+		g.Kernel.SetHyperparameters(h)
+		if err := g.refactor(); err != nil {
+			return math.Inf(-1)
+		}
+		return g.LogMarginalLikelihood()
+	}
+	best := append([]float64(nil), g.Kernel.Hyperparameters()...)
+	bestLL := evalAt(best)
+
+	for r := 0; r < restarts; r++ {
+		var h []float64
+		if r == 0 {
+			h = append([]float64(nil), best...)
+		} else {
+			h = make([]float64, dim)
+			for i := range h {
+				h[i] = rng.Uniform(-2, 2) // lengthscales/variance in e^±2
+			}
+		}
+		ll := evalAt(h)
+		step := 0.5
+		for pass := 0; pass < 12; pass++ {
+			improved := false
+			for d := 0; d < dim; d++ {
+				for _, dir := range []float64{+1, -1} {
+					trial := append([]float64(nil), h...)
+					trial[d] += dir * step
+					if trial[d] < -5 || trial[d] > 5 {
+						continue
+					}
+					if tll := evalAt(trial); tll > ll {
+						h, ll = trial, tll
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				step /= 2
+				if step < 0.02 {
+					break
+				}
+			}
+		}
+		if ll > bestLL {
+			bestLL = ll
+			best = append([]float64(nil), h...)
+		}
+	}
+	g.Kernel.SetHyperparameters(best)
+	_ = g.refactor()
+}
+
+// LeaveOneOut returns the posterior mean and variance at x[i] of a GP
+// trained on all observations except index i — the diagnostic model the
+// paper uses for anomaly detection. The kernel hyperparameters are reused.
+func (g *GP) LeaveOneOut(i int) (mean, variance float64, err error) {
+	if i < 0 || i >= len(g.x) {
+		return 0, 0, errors.New("gp: leave-one-out index out of range")
+	}
+	X := make([][]float64, 0, len(g.x)-1)
+	y := make([]float64, 0, len(g.x)-1)
+	for j := range g.x {
+		if j == i {
+			continue
+		}
+		X = append(X, g.x[j])
+		y = append(y, g.y[j]*g.yStd+g.yMean)
+	}
+	diag := New(g.Kernel, g.Noise)
+	if err := diag.Fit(X, y); err != nil {
+		return 0, 0, err
+	}
+	m, v := diag.Posterior(g.x[i])
+	return m, v, nil
+}
+
+// TrainingPoint returns observation i in original units.
+func (g *GP) TrainingPoint(i int) ([]float64, float64) {
+	return g.x[i], g.y[i]*g.yStd + g.yMean
+}

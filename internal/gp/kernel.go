@@ -1,0 +1,112 @@
+// Package gp implements exact Gaussian-process regression with fixed
+// observation noise, the surrogate model of the paper's container resource
+// manager (§5.3): Matérn-5/2 kernels with automatic relevance determination,
+// log-marginal-likelihood hyperparameter fitting, and joint posteriors over
+// candidate batches for quasi-Monte-Carlo acquisition integration.
+package gp
+
+import (
+	"math"
+)
+
+// Kernel is a positive-definite covariance function over R^d.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+	// Hyperparameters returns the current log-scale parameters
+	// (lengthscales first, output variance last).
+	Hyperparameters() []float64
+	// SetHyperparameters installs log-scale parameters (same layout).
+	SetHyperparameters(h []float64)
+}
+
+// scaledDist returns the ARD-scaled Euclidean distance between a and b.
+func scaledDist(a, b, lengthscales []float64) float64 {
+	var s float64
+	for i := range a {
+		d := (a[i] - b[i]) / lengthscales[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Matern52 is the Matérn covariance with smoothness 5/2 — the kernel the
+// paper uses for both the cost and the latency surrogate models.
+type Matern52 struct {
+	Lengthscales []float64 // one per input dimension (ARD)
+	Variance     float64   // output scale σ²
+}
+
+// NewMatern52 returns a Matérn-5/2 kernel with unit lengthscales and
+// variance for the given input dimension.
+func NewMatern52(dim int) *Matern52 {
+	ls := make([]float64, dim)
+	for i := range ls {
+		ls[i] = 1
+	}
+	return &Matern52{Lengthscales: ls, Variance: 1}
+}
+
+// Eval implements Kernel.
+func (k *Matern52) Eval(a, b []float64) float64 {
+	r := scaledDist(a, b, k.Lengthscales)
+	s5r := math.Sqrt(5) * r
+	return k.Variance * (1 + s5r + 5*r*r/3) * math.Exp(-s5r)
+}
+
+// Hyperparameters implements Kernel: log lengthscales then log variance.
+func (k *Matern52) Hyperparameters() []float64 {
+	h := make([]float64, len(k.Lengthscales)+1)
+	for i, l := range k.Lengthscales {
+		h[i] = math.Log(l)
+	}
+	h[len(h)-1] = math.Log(k.Variance)
+	return h
+}
+
+// SetHyperparameters implements Kernel.
+func (k *Matern52) SetHyperparameters(h []float64) {
+	for i := range k.Lengthscales {
+		k.Lengthscales[i] = math.Exp(h[i])
+	}
+	k.Variance = math.Exp(h[len(h)-1])
+}
+
+// RBF is the squared-exponential kernel, available for ablations.
+type RBF struct {
+	Lengthscales []float64
+	Variance     float64
+}
+
+// NewRBF returns an RBF kernel with unit lengthscales and variance.
+func NewRBF(dim int) *RBF {
+	ls := make([]float64, dim)
+	for i := range ls {
+		ls[i] = 1
+	}
+	return &RBF{Lengthscales: ls, Variance: 1}
+}
+
+// Eval implements Kernel.
+func (k *RBF) Eval(a, b []float64) float64 {
+	r := scaledDist(a, b, k.Lengthscales)
+	return k.Variance * math.Exp(-r*r/2)
+}
+
+// Hyperparameters implements Kernel.
+func (k *RBF) Hyperparameters() []float64 {
+	h := make([]float64, len(k.Lengthscales)+1)
+	for i, l := range k.Lengthscales {
+		h[i] = math.Log(l)
+	}
+	h[len(h)-1] = math.Log(k.Variance)
+	return h
+}
+
+// SetHyperparameters implements Kernel.
+func (k *RBF) SetHyperparameters(h []float64) {
+	for i := range k.Lengthscales {
+		k.Lengthscales[i] = math.Exp(h[i])
+	}
+	k.Variance = math.Exp(h[len(h)-1])
+}

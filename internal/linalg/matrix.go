@@ -1,0 +1,254 @@
+// Package linalg provides the small dense linear-algebra kernel the Gaussian
+// process and Bayesian optimization packages rely on: column-major-free
+// row-major matrices, Cholesky factorization with progressive jitter for
+// nearly singular kernels, and triangular solves.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m*b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := 0; j < b.Cols; j++ {
+				oi[j] += a * bk[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m*x for a vector x of length m.Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic("linalg: mulvec shape mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		var s float64
+		for j, v := range x {
+			s += mi[j] * v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Add returns m+b.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: add shape mismatch")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// ErrNotPSD is returned when Cholesky fails even after jitter escalation.
+var ErrNotPSD = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular L with A = L Lᵀ. If the
+// factorization fails (A only positive semi-definite due to floating-point
+// error, common with kernel matrices), it retries with exponentially growing
+// diagonal jitter starting at 1e-10 up to 1e-4 before giving up.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: cholesky of non-square matrix")
+	}
+	jitter := 0.0
+	for attempt := 0; attempt < 8; attempt++ {
+		l, ok := tryCholesky(a, jitter)
+		if ok {
+			return l, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+		if jitter > 1e-4 {
+			break
+		}
+	}
+	return nil, ErrNotPSD
+}
+
+func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j) + jitter
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return l, true
+}
+
+// SolveLower solves L y = b for lower-triangular L.
+func SolveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: solve length mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		li := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= li[k] * y[k]
+		}
+		y[i] = s / li[i]
+	}
+	return y
+}
+
+// SolveUpperT solves Lᵀ x = y for lower-triangular L (i.e. an upper
+// triangular solve against the transpose without materializing it).
+func SolveUpperT(l *Matrix, y []float64) []float64 {
+	n := l.Rows
+	if len(y) != n {
+		panic("linalg: solve length mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// CholSolve solves A x = b given the Cholesky factor L of A.
+func CholSolve(l *Matrix, b []float64) []float64 {
+	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// LogDetFromChol returns log|A| given the Cholesky factor L of A.
+func LogDetFromChol(l *Matrix) float64 {
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}

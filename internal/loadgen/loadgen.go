@@ -1,0 +1,95 @@
+// Package loadgen drives workflow traffic into the simulated platform the
+// way the paper drives Locust against OpenWhisk (§7.2): an open-loop
+// generator replays trace arrival timestamps (exponential inter-arrivals
+// within each minute of the source trace), samples per-request inputs and
+// fan-out widths from the application, and streams completed results to a
+// callback.
+package loadgen
+
+import (
+	"aquatope/internal/apps"
+	"aquatope/internal/stats"
+	"aquatope/internal/trace"
+	"aquatope/internal/workflow"
+)
+
+// Driver schedules one application's workload onto an executor.
+type Driver struct {
+	Executor *workflow.Executor
+	App      *apps.App
+	Trace    *trace.Trace
+	// OnResult receives every completed workflow (may be nil).
+	OnResult func(workflow.Result)
+	// Seed derives the per-request input/width stream.
+	Seed int64
+
+	scheduled int
+}
+
+// Start schedules every arrival of the trace on the executor's engine.
+// It returns the number of requests scheduled. Call before running the
+// engine.
+func (d *Driver) Start() int {
+	rng := stats.NewRNG(d.Seed)
+	eng := d.Executor.Cluster.Engine()
+	for _, at := range d.Trace.Arrivals {
+		at := at
+		eng.Schedule(at, func() {
+			input := d.App.Input(rng)
+			widths := d.App.Widths(rng)
+			err := d.Executor.Execute(d.App.DAG, input, widths, d.OnResult)
+			if err != nil {
+				panic(err)
+			}
+		})
+		d.scheduled++
+	}
+	return d.scheduled
+}
+
+// Scheduled returns how many requests Start scheduled.
+func (d *Driver) Scheduled() int { return d.scheduled }
+
+// OpenLoopPoisson generates a fresh trace with Poisson arrivals at the
+// given per-minute rate — the paper's per-minute Poisson regeneration for
+// traces that only provide counts.
+func OpenLoopPoisson(counts []float64, seed int64) *trace.Trace {
+	rng := stats.NewRNG(seed)
+	tr := &trace.Trace{DurationMin: len(counts)}
+	for m, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		// Exponential inter-arrival times within the minute.
+		rate := c / 60
+		t := float64(m) * 60
+		for {
+			t += rng.Exponential(rate)
+			if t >= float64(m+1)*60 {
+				break
+			}
+			tr.Arrivals = append(tr.Arrivals, t)
+		}
+	}
+	return tr
+}
+
+// ScaleToUtilization thins or replicates a trace so that the implied mean
+// CPU demand stays below the target fraction of cluster capacity — the
+// paper caps utilization at 70% (§7.2).
+func ScaleToUtilization(tr *trace.Trace, meanExecSec, cpuPerRequest, clusterCPU, target float64, seed int64) *trace.Trace {
+	if target <= 0 || clusterCPU <= 0 || len(tr.Arrivals) == 0 {
+		return tr
+	}
+	horizon := float64(tr.DurationMin) * 60
+	if horizon <= 0 {
+		return tr
+	}
+	ratePerSec := float64(len(tr.Arrivals)) / horizon
+	demand := ratePerSec * meanExecSec * cpuPerRequest
+	if demand <= target*clusterCPU {
+		return tr
+	}
+	factor := target * clusterCPU / demand
+	return tr.ScaleRate(factor, seed)
+}

@@ -1,0 +1,271 @@
+package nn
+
+import (
+	"math"
+
+	"aquatope/internal/stats"
+)
+
+// LSTM is a single LSTM layer processing time-major sequences. It supports
+// variational dropout in the style of Gal & Ghahramani (2016): one input
+// mask and one recurrent mask are sampled per sequence and reused at every
+// timestep, which is the dropout scheme the paper applies to its encoder.
+type LSTM struct {
+	In, Hidden int
+	Wx         *Param // 4H×In
+	Wh         *Param // 4H×H
+	B          *Param // 4H
+
+	cache *lstmCache
+}
+
+type lstmStep struct {
+	xMasked []float64 // input after variational mask
+	hPrevM  []float64 // previous hidden after recurrent mask
+	i, f, g, o,
+	c, h, tanhC []float64
+}
+
+type lstmCache struct {
+	steps  []lstmStep
+	h0, c0 []float64
+	mx, mh DropoutMask
+}
+
+// NewLSTM returns an LSTM layer with Xavier-initialized weights and a
+// forget-gate bias of 1 (standard practice for gradient flow).
+func NewLSTM(name string, in, hidden int, rng *stats.RNG) *LSTM {
+	l := &LSTM{In: in, Hidden: hidden,
+		Wx: NewParam(name+".Wx", 4*hidden*in),
+		Wh: NewParam(name+".Wh", 4*hidden*hidden),
+		B:  NewParam(name+".b", 4*hidden)}
+	l.Wx.InitXavier(in, hidden, rng)
+	l.Wh.InitXavier(hidden, hidden, rng)
+	for j := hidden; j < 2*hidden; j++ { // forget-gate slice of the bias
+		l.B.W[j] = 1
+	}
+	return l
+}
+
+// Params returns the trainable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// ForwardSeq runs the layer over a time-major sequence xs with initial
+// state (h0, c0); nil initial states are treated as zeros. mx and mh are
+// optional variational dropout masks (nil disables) applied to the input
+// and the recurrent hidden state at every step. It returns the hidden state
+// at each timestep.
+func (l *LSTM) ForwardSeq(xs [][]float64, h0, c0 []float64, mx, mh DropoutMask) [][]float64 {
+	h := make([]float64, l.Hidden)
+	c := make([]float64, l.Hidden)
+	if h0 != nil {
+		copy(h, h0)
+	}
+	if c0 != nil {
+		copy(c, c0)
+	}
+	cache := &lstmCache{h0: append([]float64(nil), h...), c0: append([]float64(nil), c...), mx: mx, mh: mh}
+	hs := make([][]float64, len(xs))
+	H := l.Hidden
+	for t, x := range xs {
+		if len(x) != l.In {
+			panic("nn: lstm input size mismatch")
+		}
+		xm := x
+		if mx != nil {
+			xm = mx.Apply(x)
+		}
+		hm := h
+		if mh != nil {
+			hm = mh.Apply(h)
+		}
+		z := make([]float64, 4*H)
+		copy(z, l.B.W)
+		for r := 0; r < 4*H; r++ {
+			row := l.Wx.W[r*l.In : (r+1)*l.In]
+			s := z[r]
+			for i, xi := range xm {
+				s += row[i] * xi
+			}
+			hrow := l.Wh.W[r*H : (r+1)*H]
+			for i, hi := range hm {
+				s += hrow[i] * hi
+			}
+			z[r] = s
+		}
+		st := lstmStep{
+			xMasked: xm, hPrevM: hm,
+			i: make([]float64, H), f: make([]float64, H),
+			g: make([]float64, H), o: make([]float64, H),
+			c: make([]float64, H), h: make([]float64, H), tanhC: make([]float64, H),
+		}
+		newC := make([]float64, H)
+		newH := make([]float64, H)
+		for j := 0; j < H; j++ {
+			st.i[j] = sigmoid(z[j])
+			st.f[j] = sigmoid(z[H+j])
+			st.g[j] = math.Tanh(z[2*H+j])
+			st.o[j] = sigmoid(z[3*H+j])
+			newC[j] = st.f[j]*c[j] + st.i[j]*st.g[j]
+			st.tanhC[j] = math.Tanh(newC[j])
+			newH[j] = st.o[j] * st.tanhC[j]
+		}
+		copy(st.c, newC)
+		copy(st.h, newH)
+		cache.steps = append(cache.steps, st)
+		h, c = newH, newC
+		hs[t] = newH
+	}
+	l.cache = cache
+	return hs
+}
+
+// BackwardSeq backpropagates through time. dhs[t] is dL/dh_t from the layer
+// above (nil entries allowed); dhLast and dcLast are extra gradients flowing
+// into the final hidden and cell state (e.g. from a decoder bridge). It
+// accumulates parameter gradients, returns dL/dx per timestep, and the
+// gradients on the initial state.
+func (l *LSTM) BackwardSeq(dhs [][]float64, dhLast, dcLast []float64) (dxs [][]float64, dh0, dc0 []float64) {
+	cache := l.cache
+	if cache == nil {
+		panic("nn: BackwardSeq before ForwardSeq")
+	}
+	T := len(cache.steps)
+	H := l.Hidden
+	dh := make([]float64, H)
+	dc := make([]float64, H)
+	if dhLast != nil {
+		copy(dh, dhLast)
+	}
+	if dcLast != nil {
+		copy(dc, dcLast)
+	}
+	dxs = make([][]float64, T)
+	for t := T - 1; t >= 0; t-- {
+		st := cache.steps[t]
+		if dhs != nil && dhs[t] != nil {
+			for j := range dh {
+				dh[j] += dhs[t][j]
+			}
+		}
+		var cPrev []float64
+		if t == 0 {
+			cPrev = cache.c0
+		} else {
+			cPrev = cache.steps[t-1].c
+		}
+		dz := make([]float64, 4*H)
+		dcPrev := make([]float64, H)
+		for j := 0; j < H; j++ {
+			do := dh[j] * st.tanhC[j]
+			dcj := dc[j] + dh[j]*st.o[j]*(1-st.tanhC[j]*st.tanhC[j])
+			df := dcj * cPrev[j]
+			di := dcj * st.g[j]
+			dg := dcj * st.i[j]
+			dcPrev[j] = dcj * st.f[j]
+			dz[j] = di * st.i[j] * (1 - st.i[j])
+			dz[H+j] = df * st.f[j] * (1 - st.f[j])
+			dz[2*H+j] = dg * (1 - st.g[j]*st.g[j])
+			dz[3*H+j] = do * st.o[j] * (1 - st.o[j])
+		}
+		dx := make([]float64, l.In)
+		dhPrev := make([]float64, H)
+		for r := 0; r < 4*H; r++ {
+			gz := dz[r]
+			if gz == 0 {
+				continue
+			}
+			l.B.G[r] += gz
+			wxRow := l.Wx.W[r*l.In : (r+1)*l.In]
+			gxRow := l.Wx.G[r*l.In : (r+1)*l.In]
+			for i := 0; i < l.In; i++ {
+				gxRow[i] += gz * st.xMasked[i]
+				dx[i] += gz * wxRow[i]
+			}
+			whRow := l.Wh.W[r*H : (r+1)*H]
+			ghRow := l.Wh.G[r*H : (r+1)*H]
+			for i := 0; i < H; i++ {
+				ghRow[i] += gz * st.hPrevM[i]
+				dhPrev[i] += gz * whRow[i]
+			}
+		}
+		if cache.mx != nil {
+			for i := range dx {
+				dx[i] *= cache.mx[i]
+			}
+		}
+		if cache.mh != nil {
+			for i := range dhPrev {
+				dhPrev[i] *= cache.mh[i]
+			}
+		}
+		dxs[t] = dx
+		dh, dc = dhPrev, dcPrev
+	}
+	return dxs, dh, dc
+}
+
+// LSTMStack is a stack of LSTM layers (the paper's encoder uses two).
+type LSTMStack struct {
+	Layers []*LSTM
+}
+
+// NewLSTMStack builds numLayers LSTM layers each with the given hidden size;
+// the first consumes in features, the rest consume hidden features.
+func NewLSTMStack(name string, in, hidden, numLayers int, rng *stats.RNG) *LSTMStack {
+	s := &LSTMStack{}
+	for i := 0; i < numLayers; i++ {
+		sz := in
+		if i > 0 {
+			sz = hidden
+		}
+		s.Layers = append(s.Layers, NewLSTM(name, sz, hidden, rng))
+	}
+	return s
+}
+
+// Params returns all trainable parameters of the stack.
+func (s *LSTMStack) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ForwardSeq runs the whole stack; masks (parallel to layers) may be nil to
+// disable dropout. It returns the top layer's hidden sequence.
+func (s *LSTMStack) ForwardSeq(xs [][]float64, mxs, mhs []DropoutMask) [][]float64 {
+	h := xs
+	for i, l := range s.Layers {
+		var mx, mh DropoutMask
+		if mxs != nil {
+			mx = mxs[i]
+		}
+		if mhs != nil {
+			mh = mhs[i]
+		}
+		h = l.ForwardSeq(h, nil, nil, mx, mh)
+	}
+	return h
+}
+
+// BackwardSeq backpropagates dhs (gradients on the top layer's outputs) and
+// dhLast/dcLast on the top layer's final state through the stack.
+func (s *LSTMStack) BackwardSeq(dhs [][]float64, dhLast, dcLast []float64) {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dxs, _, _ := s.Layers[i].BackwardSeq(dhs, dhLast, dcLast)
+		dhs = dxs
+		dhLast, dcLast = nil, nil
+	}
+}
+
+// FinalHidden returns the last timestep's hidden state of the top layer
+// from the most recent ForwardSeq (the latent variable Z in the paper).
+func (s *LSTMStack) FinalHidden() []float64 {
+	top := s.Layers[len(s.Layers)-1]
+	steps := top.cache.steps
+	return steps[len(steps)-1].h
+}

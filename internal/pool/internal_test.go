@@ -1,0 +1,63 @@
+package pool
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForwardMax(t *testing.T) {
+	xs := []float64{1, 5, 2, 0, 4}
+	got := forwardMax(xs, 3)
+	want := []float64{5, 5, 4, 4, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forwardMax = %v, want %v", got, want)
+		}
+	}
+	// k=1 is the identity.
+	id := forwardMax(xs, 1)
+	for i := range xs {
+		if id[i] != xs[i] {
+			t.Fatal("k=1 should copy")
+		}
+	}
+}
+
+func TestRecencyFeatures(t *testing.T) {
+	demand := []float64{0, 3, 0, 0, 0}
+	f := recencyFeatures(demand, 5)
+	if len(f) != NumRecencyFeatures {
+		t.Fatalf("dim = %d", len(f))
+	}
+	// Last activity 4 minutes ago with size 3.
+	if math.Abs(f[0]-math.Log1p(4)) > 1e-12 {
+		t.Fatalf("since = %v", f[0])
+	}
+	if f[1] != 3 {
+		t.Fatalf("last size = %v", f[1])
+	}
+	// Recent mean over the trailing window.
+	if f[2] <= 0 {
+		t.Fatalf("recent mean = %v", f[2])
+	}
+	// Nothing seen: capped sentinel.
+	g := recencyFeatures([]float64{0, 0, 0}, 3)
+	if g[0] != 5.5 || g[1] != 0 {
+		t.Fatalf("empty history features = %v", g)
+	}
+}
+
+func TestAquatopeCapBindsTarget(t *testing.T) {
+	// Unfitted policy falls back to last demand; with the rolling cap a
+	// fitted policy's target can never exceed the recent peak. We check
+	// the cap arithmetic through Decide's fallback path (model absent).
+	p := &Aquatope{}
+	d := p.Decide([]float64{0, 2, 0, 0}, 100)
+	if d.Target != 0 {
+		t.Fatalf("fallback target = %d, want last demand 0", d.Target)
+	}
+	d = p.Decide([]float64{0, 2, 5}, 100)
+	if d.Target != 5 {
+		t.Fatalf("fallback target = %d, want 5", d.Target)
+	}
+}

@@ -1,0 +1,172 @@
+package pool
+
+import (
+	"math"
+
+	"aquatope/internal/faas"
+)
+
+// Manager drives pool policies against a cluster: it samples each managed
+// function's instantaneous demand, folds it into per-minute history, and
+// applies the policy's pre-warm target / keep-alive decision once per
+// adjustment interval (1 minute by default, §4.3).
+type Manager struct {
+	cl *faas.Cluster
+	// IntervalSec is the adjustment interval (default 60).
+	IntervalSec float64
+	// SamplesPerInterval sets the demand sampling resolution (default 12).
+	SamplesPerInterval int
+	// ApplyAfter delays policy decisions until this simulation time while
+	// demand history is already being collected — the training window of
+	// an end-to-end run.
+	ApplyAfter float64
+
+	entries []*entry
+	started bool
+}
+
+type entry struct {
+	fn     string
+	policy Policy
+	// history of finalized per-minute demand values.
+	history []float64
+	// offsetMin is the absolute minute index of history[0] (training data
+	// length), keeping time-of-day features continuous.
+	offsetMin int
+	watermark float64
+}
+
+// NewManager returns a manager bound to a cluster.
+func NewManager(cl *faas.Cluster) *Manager {
+	return &Manager{cl: cl, IntervalSec: 60, SamplesPerInterval: 12}
+}
+
+// Manage registers a function under a policy. offsetMin is the absolute
+// minute index at which the run starts (the length of the policy's
+// training history). Call before Start.
+func (m *Manager) Manage(fn string, p Policy, offsetMin int) {
+	m.entries = append(m.entries, &entry{fn: fn, policy: p, offsetMin: offsetMin})
+}
+
+// History returns the observed per-minute demand of a managed function.
+func (m *Manager) History(fn string) []float64 {
+	for _, e := range m.entries {
+		if e.fn == fn {
+			return append([]float64(nil), e.history...)
+		}
+	}
+	return nil
+}
+
+// Start begins sampling and periodic adjustment on the cluster's engine.
+func (m *Manager) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	eng := m.cl.Engine()
+	sampleGap := m.IntervalSec / float64(m.SamplesPerInterval)
+	var sample func()
+	sample = func() {
+		for _, e := range m.entries {
+			d := float64(m.cl.Demand(e.fn))
+			if d > e.watermark {
+				e.watermark = d
+			}
+		}
+		eng.After(sampleGap, sample)
+	}
+	var tick func()
+	tick = func() {
+		for _, e := range m.entries {
+			e.history = append(e.history, e.watermark)
+			e.watermark = float64(m.cl.Demand(e.fn))
+			if eng.Now() < m.ApplyAfter {
+				continue
+			}
+			minute := e.offsetMin + len(e.history)
+			dec := e.policy.Decide(e.history, minute)
+			if dec.KeepAlive > 0 {
+				_ = m.cl.SetKeepAlive(e.fn, dec.KeepAlive)
+			}
+			if dec.Target >= 0 {
+				_ = m.cl.SetPrewarmTarget(e.fn, dec.Target)
+			}
+		}
+		eng.After(m.IntervalSec, tick)
+	}
+	eng.After(sampleGap, sample)
+	eng.After(m.IntervalSec, tick)
+}
+
+// DemandSeries computes the per-minute concurrent-demand series implied by
+// a set of arrivals with a given mean service time — the training signal
+// for predictive policies. It counts, for each minute, the peak number of
+// overlapping (arrival, arrival+service) intervals.
+func DemandSeries(arrivals []float64, serviceSec float64, minutes int) []float64 {
+	out := make([]float64, minutes)
+	if serviceSec <= 0 {
+		serviceSec = 1
+	}
+	// Sweep: events at start (+1) and end (-1), tracking per-minute max.
+	type ev struct {
+		t float64
+		d int
+	}
+	evs := make([]ev, 0, 2*len(arrivals))
+	for _, a := range arrivals {
+		evs = append(evs, ev{a, +1}, ev{a + serviceSec, -1})
+	}
+	// Events are nearly sorted; insertion sort by time.
+	for i := 1; i < len(evs); i++ {
+		v := evs[i]
+		j := i - 1
+		for j >= 0 && evs[j].t > v.t {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = v
+	}
+	cur := 0
+	for _, e := range evs {
+		m := int(e.t / 60)
+		cur += e.d
+		if m >= 0 && m < minutes && float64(cur) > out[m] {
+			out[m] = float64(cur)
+		}
+	}
+	// Demand persists across minute boundaries for long-running work:
+	// carry a floor of the running concurrency into each minute.
+	cur = 0
+	idx := 0
+	for m := 0; m < minutes; m++ {
+		boundary := float64(m) * 60
+		for idx < len(evs) && evs[idx].t < boundary {
+			cur += evs[idx].d
+			idx++
+		}
+		if float64(cur) > out[m] {
+			out[m] = float64(cur)
+		}
+	}
+	return out
+}
+
+// Smooth applies a short trailing moving average, stabilizing noisy demand
+// series before policy training.
+func Smooth(xs []float64, window int) []float64 {
+	if window <= 1 {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		if i >= window {
+			sum -= xs[i-window]
+		}
+		n := math.Min(float64(window), float64(i+1))
+		out[i] = sum / n
+	}
+	return out
+}

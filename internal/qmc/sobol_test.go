@@ -1,0 +1,178 @@
+package qmc
+
+import (
+	"math"
+	"testing"
+
+	"aquatope/internal/stats"
+)
+
+func TestFirstDimensionIsVanDerCorput(t *testing.T) {
+	s := NewSobol(1)
+	want := []float64{0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125}
+	for i, w := range want {
+		got := s.Next()[0]
+		if math.Abs(got-w) > 1e-12 {
+			t.Fatalf("point %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestPointsInUnitCube(t *testing.T) {
+	s := NewSobol(8)
+	for i := 0; i < 1000; i++ {
+		p := s.Next()
+		if len(p) != 8 {
+			t.Fatalf("dim = %d", len(p))
+		}
+		for _, x := range p {
+			if x < 0 || x >= 1 {
+				t.Fatalf("coordinate out of [0,1): %v", x)
+			}
+		}
+	}
+}
+
+func TestDimensionBounds(t *testing.T) {
+	for _, d := range []int{0, MaxDim + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("dim %d should panic", d)
+				}
+			}()
+			NewSobol(d)
+		}()
+	}
+	NewSobol(MaxDim) // must not panic
+}
+
+func TestUniformMeanPerDimension(t *testing.T) {
+	s := NewSobol(6)
+	n := 4096
+	sums := make([]float64, 6)
+	for i := 0; i < n; i++ {
+		p := s.Next()
+		for j, x := range p {
+			sums[j] += x
+		}
+	}
+	for j, sum := range sums {
+		mean := sum / float64(n)
+		if math.Abs(mean-0.5) > 0.01 {
+			t.Fatalf("dim %d mean = %v, want ~0.5", j, mean)
+		}
+	}
+}
+
+func TestLowerDiscrepancyThanRandom(t *testing.T) {
+	n, d := 512, 4
+	sob := NewSobol(d).Sample(n)
+	g := stats.NewRNG(9)
+	rnd := make([][]float64, n)
+	for i := range rnd {
+		rnd[i] = make([]float64, d)
+		for j := range rnd[i] {
+			rnd[i][j] = g.Float64()
+		}
+	}
+	ds, dr := Discrepancy2(sob), Discrepancy2(rnd)
+	if ds >= dr {
+		t.Fatalf("Sobol discrepancy %v not lower than random %v", ds, dr)
+	}
+}
+
+func TestScrambledStaysUniform(t *testing.T) {
+	g := stats.NewRNG(10)
+	s := NewScrambledSobol(4, g)
+	n := 4096
+	sums := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		p := s.Next()
+		for j, x := range p {
+			if x < 0 || x >= 1 {
+				t.Fatalf("scrambled coordinate out of range: %v", x)
+			}
+			sums[j] += x
+		}
+	}
+	for j, sum := range sums {
+		if mean := sum / float64(n); math.Abs(mean-0.5) > 0.02 {
+			t.Fatalf("scrambled dim %d mean = %v", j, mean)
+		}
+	}
+}
+
+func TestScramblesDiffer(t *testing.T) {
+	a := NewScrambledSobol(3, stats.NewRNG(1))
+	b := NewScrambledSobol(3, stats.NewRNG(2))
+	pa, pb := a.Next(), b.Next()
+	same := true
+	for i := range pa {
+		if pa[i] != pb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical scrambled points")
+	}
+}
+
+func TestNormalSampleMoments(t *testing.T) {
+	s := NewSobol(2)
+	pts := s.NormalSample(4096)
+	var sum, sumSq float64
+	for _, p := range pts {
+		for _, x := range p {
+			sum += x
+			sumSq += x * x
+		}
+	}
+	n := float64(len(pts) * 2)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestQMCIntegrationBeatsMC(t *testing.T) {
+	// Integrate f(x) = prod_i x_i over [0,1]^3; exact value 1/8.
+	integrand := func(p []float64) float64 {
+		v := 1.0
+		for _, x := range p {
+			v *= x
+		}
+		return v
+	}
+	n := 1024
+	s := NewSobol(3)
+	var qmcSum float64
+	for i := 0; i < n; i++ {
+		qmcSum += integrand(s.Next())
+	}
+	qmcErr := math.Abs(qmcSum/float64(n) - 0.125)
+
+	g := stats.NewRNG(77)
+	var mcSum float64
+	for i := 0; i < n; i++ {
+		p := []float64{g.Float64(), g.Float64(), g.Float64()}
+		mcSum += integrand(p)
+	}
+	mcErr := math.Abs(mcSum/float64(n) - 0.125)
+	if qmcErr > mcErr {
+		t.Fatalf("QMC error %v worse than MC error %v", qmcErr, mcErr)
+	}
+	if qmcErr > 1e-3 {
+		t.Fatalf("QMC error too large: %v", qmcErr)
+	}
+}
+
+func TestDiscrepancyEmpty(t *testing.T) {
+	if Discrepancy2(nil) != 0 {
+		t.Fatal("empty set should have 0 discrepancy")
+	}
+}

@@ -1,0 +1,178 @@
+// Package resource implements the container resource manager of §5: it
+// maps workflow-wide resource configurations (per-function CPU, memory and
+// optionally concurrency, matching provider interfaces) onto the normalized
+// search cube, profiles candidates on the simulated platform under
+// warm-start conditions, and drives the search with the customized BO
+// engine or one of the paper's baselines (Random, Autoscale, CLITE), with
+// an exhaustive Oracle for reference.
+package resource
+
+import (
+	"fmt"
+	"math"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/faas"
+)
+
+// DefaultCPUOptions are the per-function CPU limits explored (cores).
+var DefaultCPUOptions = []float64{0.25, 0.5, 1, 2, 4}
+
+// DefaultMemOptions are the per-function memory limits explored (MB).
+var DefaultMemOptions = []float64{128, 256, 512, 1024, 2048, 4096}
+
+// DefaultConcurrencyOptions are per-function concurrency caps.
+var DefaultConcurrencyOptions = []int{4, 8, 16, 32}
+
+// Space maps [0,1]^Dim vectors to per-function resource configurations.
+type Space struct {
+	Functions   []string
+	CPUOptions  []float64
+	MemOptions  []float64
+	Concurrency []int // nil disables the concurrency dimension
+}
+
+// NewSpace returns the default CPU×memory space over an app's functions.
+func NewSpace(a *apps.App) *Space {
+	return &Space{
+		Functions:  a.FunctionNames(),
+		CPUOptions: DefaultCPUOptions,
+		MemOptions: DefaultMemOptions,
+	}
+}
+
+// dimsPerFunction returns 2 (CPU, mem) or 3 (plus concurrency).
+func (s *Space) dimsPerFunction() int {
+	if len(s.Concurrency) > 0 {
+		return 3
+	}
+	return 2
+}
+
+// Dim returns the dimensionality of the normalized search cube.
+func (s *Space) Dim() int { return len(s.Functions) * s.dimsPerFunction() }
+
+// snap maps u in [0,1] to an option index.
+func snapIdx(u float64, n int) int {
+	i := int(u * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Decode maps a normalized vector to per-function configurations.
+func (s *Space) Decode(x []float64) (map[string]faas.ResourceConfig, error) {
+	if len(x) != s.Dim() {
+		return nil, fmt.Errorf("resource: vector dim %d, want %d", len(x), s.Dim())
+	}
+	k := s.dimsPerFunction()
+	out := make(map[string]faas.ResourceConfig, len(s.Functions))
+	for i, fn := range s.Functions {
+		cfg := faas.ResourceConfig{
+			CPU:      s.CPUOptions[snapIdx(x[i*k], len(s.CPUOptions))],
+			MemoryMB: s.MemOptions[snapIdx(x[i*k+1], len(s.MemOptions))],
+		}
+		if k == 3 {
+			cfg.Concurrency = s.Concurrency[snapIdx(x[i*k+2], len(s.Concurrency))]
+		}
+		out[fn] = cfg
+	}
+	return out, nil
+}
+
+// Encode maps per-function configurations back to the (bin-center)
+// normalized vector.
+func (s *Space) Encode(cfgs map[string]faas.ResourceConfig) []float64 {
+	k := s.dimsPerFunction()
+	x := make([]float64, s.Dim())
+	for i, fn := range s.Functions {
+		cfg := cfgs[fn]
+		x[i*k] = binCenter(nearestIdx(s.CPUOptions, cfg.CPU), len(s.CPUOptions))
+		x[i*k+1] = binCenter(nearestIdx(s.MemOptions, cfg.MemoryMB), len(s.MemOptions))
+		if k == 3 {
+			x[i*k+2] = binCenter(nearestIntIdx(s.Concurrency, cfg.Concurrency), len(s.Concurrency))
+		}
+	}
+	return x
+}
+
+func binCenter(i, n int) float64 { return (float64(i) + 0.5) / float64(n) }
+
+func nearestIdx(opts []float64, v float64) int {
+	best, bd := 0, math.Inf(1)
+	for i, o := range opts {
+		if d := math.Abs(o - v); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+func nearestIntIdx(opts []int, v int) int {
+	best, bd := 0, math.MaxInt
+	for i, o := range opts {
+		d := o - v
+		if d < 0 {
+			d = -d
+		}
+		if d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+// GridSize returns the total number of distinct configurations.
+func (s *Space) GridSize() int {
+	per := len(s.CPUOptions) * len(s.MemOptions)
+	if len(s.Concurrency) > 0 {
+		per *= len(s.Concurrency)
+	}
+	total := 1
+	for range s.Functions {
+		total *= per
+		if total > math.MaxInt32 {
+			return math.MaxInt32
+		}
+	}
+	return total
+}
+
+// EnumGrid calls fn for every grid configuration (bin-center coordinates).
+// Use only when GridSize is tractable.
+func (s *Space) EnumGrid(fn func(x []float64)) {
+	k := s.dimsPerFunction()
+	dims := make([]int, s.Dim())
+	for i := range s.Functions {
+		dims[i*k] = len(s.CPUOptions)
+		dims[i*k+1] = len(s.MemOptions)
+		if k == 3 {
+			dims[i*k+2] = len(s.Concurrency)
+		}
+	}
+	idx := make([]int, len(dims))
+	for {
+		x := make([]float64, len(dims))
+		for d := range dims {
+			x[d] = binCenter(idx[d], dims[d])
+		}
+		fn(x)
+		// Increment mixed-radix counter.
+		d := 0
+		for d < len(dims) {
+			idx[d]++
+			if idx[d] < dims[d] {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == len(dims) {
+			return
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package sim implements the discrete-event simulation engine the FaaS
+// platform substrate runs on: a virtual clock, a binary-heap event queue with
+// stable FIFO ordering for simultaneous events, and cancellable timers.
+//
+// All simulated time is expressed as float64 seconds from the start of the
+// simulation. The engine is single-goroutine and deterministic: running the
+// same event program twice yields identical schedules.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time = float64
+
+// Event is a scheduled callback.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-breaker preserving schedule order
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that
+// already fired is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	events uint64 // total events processed, for diagnostics
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.events }
+
+// Pending returns the number of scheduled (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a logic bug in the caller.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if math.IsNaN(at) {
+		panic("sim: scheduling event at NaN")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay seconds of virtual time. Negative delays are
+// clamped to zero.
+func (e *Engine) After(delay float64, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Step executes the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.events++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if it has not passed it already).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		// Peek without popping: heap root is index 0.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.Schedule(10, func() {
+		e.After(5, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 15 {
+		t.Fatalf("After fired at %v, want 15", fired)
+	}
+}
+
+func TestAfterNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		e.After(-3, func() {})
+	})
+	e.Run()
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() should be true")
+	}
+	if e.Processed() != 0 {
+		t.Fatalf("Processed = %v, want 0", e.Processed())
+	}
+}
+
+func TestCancelNilSafe(t *testing.T) {
+	var ev *Event
+	ev.Cancel() // must not panic
+	if ev.Canceled() {
+		t.Fatal("nil event reports canceled")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.Schedule(1, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v events, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %v, want 2", e.Pending())
+	}
+	// Advancing clock past the last event even when queue has nothing there.
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %v events, want 5", len(fired))
+	}
+}
+
+func TestRunUntilSkipsCanceledHead(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() { t.Error("should not fire") })
+	fired := false
+	e.Schedule(2, func() { fired = true })
+	ev.Cancel()
+	e.RunUntil(5)
+	if !fired {
+		t.Fatal("live event did not fire")
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(7, func() {})
+	if ev.At() != 7 {
+		t.Fatalf("At = %v, want 7", ev.At())
+	}
+}
+
+func TestPropertyEventsFireInTimestampOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			e.After(1, step)
+		}
+	}
+	e.Schedule(0, step)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count = %v, want 100", count)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("Now = %v, want 99", e.Now())
+	}
+	if e.Processed() != 100 {
+		t.Fatalf("Processed = %v", e.Processed())
+	}
+}

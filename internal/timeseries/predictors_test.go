@@ -1,0 +1,222 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+
+	"aquatope/internal/stats"
+)
+
+// seasonal builds a clean seasonal series with optional noise and trend.
+func seasonal(n int, period float64, noise, trend float64, seed int64) []float64 {
+	g := stats.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		base := 40 + 25*math.Sin(2*math.Pi*float64(i)/period) + trend*float64(i)
+		out[i] = math.Max(0, base+g.Normal(0, noise))
+	}
+	return out
+}
+
+func splitSeries(xs []float64, frac float64) (train, test []float64) {
+	cut := int(float64(len(xs)) * frac)
+	return xs[:cut], xs[cut:]
+}
+
+func TestNaiveForecastShiftsByOne(t *testing.T) {
+	n := NewNaive()
+	n.Fit([]float64{1, 2, 3})
+	got := n.Forecast([]float64{10, 20, 30})
+	want := []float64{3, 10, 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forecast = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNaiveEmptyTrain(t *testing.T) {
+	n := NewNaive()
+	n.Fit(nil)
+	if got := n.Forecast([]float64{5})[0]; got != 0 {
+		t.Fatalf("got %v, want 0", got)
+	}
+}
+
+func TestARIMARecoversARProcess(t *testing.T) {
+	// x_t = 0.7 x_{t-1} + e ; AR(1) fit should find phi ~ 0.7.
+	g := stats.NewRNG(1)
+	n := 800
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = 0.7*xs[i-1] + g.Normal(0, 1)
+	}
+	m := NewARIMA(1, 0, 0)
+	m.Fit(xs)
+	if math.Abs(m.phi[0]-0.7) > 0.08 {
+		t.Fatalf("phi = %v, want ~0.7", m.phi[0])
+	}
+}
+
+func TestARIMABeatsNaiveOnSeasonal(t *testing.T) {
+	series := seasonal(600, 48, 2, 0, 2)
+	train, test := splitSeries(series, 0.8)
+	ar := NewARIMA(6, 1, 2)
+	ar.Fit(train)
+	nv := NewNaive()
+	nv.Fit(train)
+	sAR := stats.SMAPE(test, ar.Forecast(test))
+	sNV := stats.SMAPE(test, nv.Forecast(test))
+	if sAR >= sNV {
+		t.Fatalf("ARIMA SMAPE %.2f should beat naive %.2f", sAR, sNV)
+	}
+}
+
+func TestARIMAShortSeriesSafe(t *testing.T) {
+	m := NewARIMA(3, 1, 2)
+	m.Fit([]float64{1, 2})
+	out := m.Forecast([]float64{3, 4})
+	for _, v := range out {
+		if math.IsNaN(v) {
+			t.Fatal("NaN forecast on short series")
+		}
+	}
+}
+
+func TestARIMANonNegative(t *testing.T) {
+	series := seasonal(300, 24, 10, 0, 3)
+	train, test := splitSeries(series, 0.7)
+	m := NewARIMA(4, 1, 1)
+	m.Fit(train)
+	for _, v := range m.Forecast(test) {
+		if v < 0 {
+			t.Fatalf("negative count forecast %v", v)
+		}
+	}
+}
+
+func TestDifference(t *testing.T) {
+	d1 := difference([]float64{1, 3, 6, 10}, 1)
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if d1[i] != want[i] {
+			t.Fatalf("d1 = %v", d1)
+		}
+	}
+	d2 := difference([]float64{1, 3, 6, 10}, 2)
+	if len(d2) != 2 || d2[0] != 1 || d2[1] != 1 {
+		t.Fatalf("d2 = %v", d2)
+	}
+	if difference([]float64{1}, 1) != nil {
+		t.Fatal("difference of too-short series should be nil")
+	}
+}
+
+func TestUndiffInvertsDifference(t *testing.T) {
+	hist := []float64{5, 8, 12, 13, 19}
+	// If the next diff is 4, the next level is 19+4=23.
+	if got := undiff(hist, 1, 4); got != 23 {
+		t.Fatalf("undiff d=1 = %v, want 23", got)
+	}
+	if got := undiff(hist, 0, 7); got != 7 {
+		t.Fatalf("undiff d=0 = %v, want 7", got)
+	}
+}
+
+func TestHoltWintersLearnsSeasonality(t *testing.T) {
+	series := seasonal(500, 50, 1, 0.01, 4)
+	train, test := splitSeries(series, 0.8)
+	hw := NewHoltWinters(50)
+	hw.Fit(train)
+	nv := NewNaive()
+	nv.Fit(train)
+	sHW := stats.SMAPE(test, hw.Forecast(test))
+	sNV := stats.SMAPE(test, nv.Forecast(test))
+	if sHW >= sNV {
+		t.Fatalf("HoltWinters SMAPE %.2f should beat naive %.2f", sHW, sNV)
+	}
+	if sHW > 10 {
+		t.Fatalf("HoltWinters SMAPE too high: %.2f", sHW)
+	}
+}
+
+func TestHoltWintersShortTrainSafe(t *testing.T) {
+	hw := NewHoltWinters(24)
+	hw.Fit([]float64{5, 6, 7})
+	out := hw.Forecast([]float64{8, 9})
+	for _, v := range out {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("bad forecast %v", v)
+		}
+	}
+}
+
+func TestFourierExtrapolatesPeriodicSignal(t *testing.T) {
+	series := seasonal(512, 64, 0.5, 0, 5)
+	train, test := splitSeries(series, 0.75)
+	f := NewFourier(8, 256)
+	f.Fit(train)
+	nv := NewNaive()
+	nv.Fit(train)
+	sF := stats.SMAPE(test, f.Forecast(test))
+	sNV := stats.SMAPE(test, nv.Forecast(test))
+	if sF >= sNV {
+		t.Fatalf("Fourier SMAPE %.2f should beat naive %.2f", sF, sNV)
+	}
+}
+
+func TestFourierEmptyTrain(t *testing.T) {
+	f := NewFourier(4, 0)
+	f.Fit(nil)
+	out := f.Forecast([]float64{1, 2})
+	if len(out) != 2 {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestVanillaLSTMLearnsPattern(t *testing.T) {
+	series := seasonal(400, 24, 1, 0, 6)
+	train, test := splitSeries(series, 0.8)
+	v := NewVanillaLSTM(8, 12, 8, 7)
+	v.Fit(train)
+	nv := NewNaive()
+	nv.Fit(train)
+	sV := stats.SMAPE(test, v.Forecast(test))
+	sNV := stats.SMAPE(test, nv.Forecast(test))
+	if sV >= sNV {
+		t.Fatalf("LSTM SMAPE %.2f should beat naive %.2f", sV, sNV)
+	}
+}
+
+func TestVanillaLSTMUnfittedSafe(t *testing.T) {
+	v := NewVanillaLSTM(4, 8, 2, 1)
+	out := v.Forecast([]float64{1, 2, 3})
+	for _, x := range out {
+		if x != 0 {
+			t.Fatal("unfitted model should forecast zeros")
+		}
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	ps := []Predictor{NewNaive(), NewARIMA(1, 0, 0), NewHoltWinters(4), NewFourier(2, 0), NewVanillaLSTM(2, 2, 1, 1)}
+	want := []string{"keepalive", "arima", "holtwinters", "fourier", "lstm"}
+	for i, p := range ps {
+		if p.Name() != want[i] {
+			t.Fatalf("name %q, want %q", p.Name(), want[i])
+		}
+	}
+}
+
+func TestOLSSolveKnownSystem(t *testing.T) {
+	// y = 2 + 3x
+	X := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	beta := olsSolve(X, y)
+	if math.Abs(beta[0]-2) > 1e-3 || math.Abs(beta[1]-3) > 1e-3 {
+		t.Fatalf("beta = %v, want [2 3]", beta)
+	}
+	if olsSolve(nil, nil) != nil {
+		t.Fatal("empty OLS should return nil")
+	}
+}

@@ -1,0 +1,106 @@
+package timeseries
+
+import "aquatope/internal/stats"
+
+// Theta implements the Theta method (Assimakopoulos & Nikolopoulos 2000),
+// one of the classic forecasting models the paper lists alongside
+// exponential smoothing and ARIMA (§4.2). The standard Theta(0,2) variant
+// averages an extrapolated linear trend (theta=0 line) with simple
+// exponential smoothing of the theta=2 line.
+type Theta struct {
+	// Alpha is the SES smoothing constant (fitted on Fit when 0).
+	Alpha float64
+
+	slope, intercept float64
+	level            float64
+	n                int
+}
+
+// NewTheta returns a Theta-method predictor.
+func NewTheta() *Theta { return &Theta{} }
+
+// Name implements Predictor.
+func (th *Theta) Name() string { return "theta" }
+
+// Fit estimates the linear trend of the series and the SES state of the
+// theta=2 line, grid-searching alpha by in-sample one-step SSE.
+func (th *Theta) Fit(train []float64) {
+	th.n = len(train)
+	if len(train) < 3 {
+		if len(train) > 0 {
+			th.level = stats.Mean(train)
+		}
+		return
+	}
+	// OLS trend (the theta=0 line).
+	var sx, sy, sxx, sxy float64
+	for i, v := range train {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	fn := float64(len(train))
+	den := fn*sxx - sx*sx
+	if den != 0 {
+		th.slope = (fn*sxy - sx*sy) / den
+		th.intercept = (sy - th.slope*sx) / fn
+	} else {
+		th.intercept = sy / fn
+	}
+	// Theta=2 line: 2*x_t - trend_t, smoothed with SES.
+	theta2 := make([]float64, len(train))
+	for i, v := range train {
+		theta2[i] = 2*v - (th.intercept + th.slope*float64(i))
+	}
+	if th.Alpha <= 0 {
+		best := -1.0
+		for _, a := range []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
+			sse := sesSSE(theta2, a)
+			if best < 0 || sse < best {
+				best = sse
+				th.Alpha = a
+			}
+		}
+	}
+	th.level = theta2[0]
+	for _, v := range theta2[1:] {
+		th.level = th.Alpha*v + (1-th.Alpha)*th.level
+	}
+}
+
+func sesSSE(xs []float64, alpha float64) float64 {
+	level := xs[0]
+	var sse float64
+	for _, v := range xs[1:] {
+		e := v - level
+		sse += e * e
+		level = alpha*v + (1-alpha)*level
+	}
+	return sse
+}
+
+// Forecast implements Predictor with rolling one-step-ahead updates.
+func (th *Theta) Forecast(test []float64) []float64 {
+	out := make([]float64, len(test))
+	for i, x := range test {
+		t := float64(th.n + i)
+		trend := th.intercept + th.slope*t
+		// Theta combination: average of the extrapolated trend and the
+		// smoothed theta=2 line.
+		pred := 0.5*trend + 0.5*th.level
+		if pred < 0 {
+			pred = 0
+		}
+		out[i] = pred
+		// Update the SES state with the new observation's theta=2 value.
+		theta2 := 2*x - trend
+		a := th.Alpha
+		if a <= 0 {
+			a = 0.3
+		}
+		th.level = a*theta2 + (1-a)*th.level
+	}
+	return out
+}

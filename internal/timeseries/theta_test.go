@@ -1,0 +1,62 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+
+	"aquatope/internal/stats"
+)
+
+func TestThetaTrendedSeries(t *testing.T) {
+	// Linear-trend series: Theta must track the trend where naive lags.
+	g := stats.NewRNG(1)
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 10 + 0.5*float64(i) + g.Normal(0, 1)
+	}
+	train, test := xs[:240], xs[240:]
+	th := NewTheta()
+	th.Fit(train)
+	nv := NewNaive()
+	nv.Fit(train)
+	sTh := stats.SMAPE(test, th.Forecast(test))
+	sNv := stats.SMAPE(test, nv.Forecast(test))
+	if sTh >= sNv {
+		t.Fatalf("Theta SMAPE %.2f should beat naive %.2f on trended data", sTh, sNv)
+	}
+}
+
+func TestThetaShortSeriesSafe(t *testing.T) {
+	th := NewTheta()
+	th.Fit([]float64{5})
+	out := th.Forecast([]float64{6, 7})
+	for _, v := range out {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("bad forecast %v", v)
+		}
+	}
+	th2 := NewTheta()
+	th2.Fit(nil)
+	if got := th2.Forecast([]float64{1}); len(got) != 1 {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestThetaName(t *testing.T) {
+	if NewTheta().Name() != "theta" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestThetaAlphaFitted(t *testing.T) {
+	th := NewTheta()
+	g := stats.NewRNG(2)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 20 + g.Normal(0, 3)
+	}
+	th.Fit(xs)
+	if th.Alpha <= 0 || th.Alpha > 1 {
+		t.Fatalf("alpha = %v", th.Alpha)
+	}
+}

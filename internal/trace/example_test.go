@@ -1,0 +1,44 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"aquatope/internal/trace"
+)
+
+// ExampleSynthesize generates a bursty diurnal trace and inspects its
+// statistics.
+func ExampleSynthesize() {
+	tr := trace.Synthesize(trace.GenConfig{
+		DurationMin:    1440, // one day
+		MeanRatePerMin: 5,
+		Diurnal:        0.6,
+		CV:             2, // bursty inter-arrivals
+		Seed:           1,
+	})
+	counts := tr.Counts()
+	fmt.Printf("minutes covered: %d\n", len(counts))
+	fmt.Printf("bursty (CV > 1.3): %v\n", tr.InterArrivalCV() > 1.3)
+
+	train, test := tr.Split(1080)
+	fmt.Printf("split keeps all arrivals: %v\n",
+		len(train.Arrivals)+len(test.Arrivals) == len(tr.Arrivals))
+	// Output:
+	// minutes covered: 1440
+	// bursty (CV > 1.3): true
+	// split keeps all arrivals: true
+}
+
+// ExampleTrace_Features shows the external feature vector handed to the
+// prediction model.
+func ExampleTrace_Features() {
+	tr := trace.SynthesizePeriodic(trace.PeriodicGenConfig{
+		DurationMin: 120, PeriodMin: 30, TriggerType: 2, Seed: 4,
+	})
+	f := tr.Features(0)
+	fmt.Printf("dims: %d (2 calendar + %d trigger one-hot)\n", len(f), trace.NumTriggerTypes)
+	fmt.Printf("trigger 2 hot: %v\n", f[4] == 1)
+	// Output:
+	// dims: 5 (2 calendar + 3 trigger one-hot)
+	// trigger 2 hot: true
+}

@@ -1,0 +1,290 @@
+// Package workflow models multi-stage serverless applications as DAGs of
+// function stages and executes them on the faas simulator: stages run when
+// all their dependencies complete, fan-out stages invoke many parallel
+// function instances, and the end-to-end latency and cost of the whole
+// request are accounted per execution — including cascading cold starts
+// across dependent stages (§2.2).
+package workflow
+
+import (
+	"fmt"
+	"sort"
+
+	"aquatope/internal/faas"
+)
+
+// Stage is one node of a workflow DAG.
+type Stage struct {
+	// Name identifies the stage within the DAG.
+	Name string
+	// Function is the faas function the stage invokes.
+	Function string
+	// Deps lists stage names that must complete first.
+	Deps []string
+	// Width is the number of parallel invocations the stage issues
+	// (fan-out); 0 or 1 means a single invocation.
+	Width int
+	// InputScale multiplies the workflow's input size for this stage
+	// (e.g. a decoder emits fixed-size chunks).
+	InputScale float64
+}
+
+func (s Stage) width() int {
+	if s.Width <= 0 {
+		return 1
+	}
+	return s.Width
+}
+
+func (s Stage) inputScale() float64 {
+	if s.InputScale == 0 {
+		return 1
+	}
+	return s.InputScale
+}
+
+// DAG is a validated workflow graph.
+type DAG struct {
+	Name   string
+	stages []Stage
+	index  map[string]int
+	// children[i] lists indices of stages depending on stage i.
+	children [][]int
+	order    []int // topological order
+}
+
+// NewDAG validates the stages (unique names, existing dependencies,
+// acyclicity) and returns the workflow.
+func NewDAG(name string, stages []Stage) (*DAG, error) {
+	d := &DAG{Name: name, stages: stages, index: make(map[string]int)}
+	for i, s := range stages {
+		if s.Name == "" {
+			return nil, fmt.Errorf("workflow: stage %d has empty name", i)
+		}
+		if _, dup := d.index[s.Name]; dup {
+			return nil, fmt.Errorf("workflow: duplicate stage %q", s.Name)
+		}
+		d.index[s.Name] = i
+	}
+	d.children = make([][]int, len(stages))
+	indeg := make([]int, len(stages))
+	for i, s := range stages {
+		for _, dep := range s.Deps {
+			j, ok := d.index[dep]
+			if !ok {
+				return nil, fmt.Errorf("workflow: stage %q depends on unknown %q", s.Name, dep)
+			}
+			d.children[j] = append(d.children[j], i)
+			indeg[i]++
+		}
+	}
+	// Kahn's algorithm for topological order / cycle detection.
+	var queue []int
+	for i, deg := range indeg {
+		if deg == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		d.order = append(d.order, i)
+		for _, ch := range d.children[i] {
+			indeg[ch]--
+			if indeg[ch] == 0 {
+				queue = append(queue, ch)
+			}
+		}
+	}
+	if len(d.order) != len(stages) {
+		return nil, fmt.Errorf("workflow: %q has a dependency cycle", name)
+	}
+	return d, nil
+}
+
+// Stages returns the DAG's stages.
+func (d *DAG) Stages() []Stage { return append([]Stage(nil), d.stages...) }
+
+// Functions returns the distinct function names used, in stage order.
+func (d *DAG) Functions() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range d.stages {
+		if !seen[s.Function] {
+			seen[s.Function] = true
+			out = append(out, s.Function)
+		}
+	}
+	return out
+}
+
+// Chain builds a linear workflow f1 -> f2 -> ... over the given functions.
+func Chain(name string, functions ...string) *DAG {
+	stages := make([]Stage, len(functions))
+	for i, fn := range functions {
+		stages[i] = Stage{Name: fmt.Sprintf("s%d", i), Function: fn}
+		if i > 0 {
+			stages[i].Deps = []string{fmt.Sprintf("s%d", i-1)}
+		}
+	}
+	d, err := NewDAG(name, stages)
+	if err != nil {
+		panic(err) // unreachable: construction is well-formed
+	}
+	return d
+}
+
+// FanOutFanIn builds source -> {branches...} -> sink.
+func FanOutFanIn(name, source string, branches []string, sink string) *DAG {
+	stages := []Stage{{Name: "source", Function: source}}
+	var branchNames []string
+	for i, fn := range branches {
+		bn := fmt.Sprintf("branch%d", i)
+		branchNames = append(branchNames, bn)
+		stages = append(stages, Stage{Name: bn, Function: fn, Deps: []string{"source"}})
+	}
+	stages = append(stages, Stage{Name: "sink", Function: sink, Deps: branchNames})
+	d, err := NewDAG(name, stages)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Result reports one end-to-end workflow execution.
+type Result struct {
+	Workflow   string
+	SubmitTime float64
+	EndTime    float64
+	// PerStage holds the invocation results of every stage instance.
+	PerStage map[string][]faas.InvocationResult
+	// ColdStarts counts cold-started invocations across stages.
+	ColdStarts int
+	// Invocations counts total function invocations.
+	Invocations int
+}
+
+// Latency returns the end-to-end latency.
+func (r Result) Latency() float64 { return r.EndTime - r.SubmitTime }
+
+// CPUTime returns total CPU-seconds across all stage invocations.
+func (r Result) CPUTime() float64 {
+	var s float64
+	for _, rs := range r.PerStage {
+		for _, ir := range rs {
+			s += ir.CostCPUTime()
+		}
+	}
+	return s
+}
+
+// MemTime returns total GB-seconds across all stage invocations.
+func (r Result) MemTime() float64 {
+	var s float64
+	for _, rs := range r.PerStage {
+		for _, ir := range rs {
+			s += ir.CostMemTime()
+		}
+	}
+	return s
+}
+
+// Cost returns the linear execution cost κc·CPUTime + κm·MemTime used by
+// the resource manager (§5.1); provider-style weights default to 1 each.
+func (r Result) Cost(cpuWeight, memWeight float64) float64 {
+	return cpuWeight*r.CPUTime() + memWeight*r.MemTime()
+}
+
+// Executor runs workflow DAGs on a cluster.
+type Executor struct {
+	Cluster *faas.Cluster
+}
+
+// NewExecutor returns an executor bound to a cluster.
+func NewExecutor(c *faas.Cluster) *Executor { return &Executor{Cluster: c} }
+
+// Execute submits one workflow request with the given input size. Width
+// overrides (may be nil) replace stage widths per request — e.g. a social
+// post fanning out to each follower. done receives the completed Result.
+func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, done func(Result)) error {
+	n := len(d.stages)
+	res := &Result{
+		Workflow:   d.Name,
+		SubmitTime: e.Cluster.Engine().Now(),
+		PerStage:   make(map[string][]faas.InvocationResult, n),
+	}
+	remainingDeps := make([]int, n)
+	pendingInv := make([]int, n) // outstanding invocations per running stage
+	stagesLeft := n
+	var launch func(i int)
+	finishStage := func(i int) {
+		stagesLeft--
+		for _, ch := range d.children[i] {
+			remainingDeps[ch]--
+			if remainingDeps[ch] == 0 {
+				launch(ch)
+			}
+		}
+		if stagesLeft == 0 {
+			res.EndTime = e.Cluster.Engine().Now()
+			if done != nil {
+				done(*res)
+			}
+		}
+	}
+	launch = func(i int) {
+		st := d.stages[i]
+		w := st.width()
+		if widths != nil {
+			if ov, ok := widths[st.Name]; ok && ov > 0 {
+				w = ov
+			}
+		}
+		pendingInv[i] = w
+		for k := 0; k < w; k++ {
+			err := e.Cluster.Invoke(st.Function, inputSize*st.inputScale(), func(r faas.InvocationResult) {
+				res.PerStage[st.Name] = append(res.PerStage[st.Name], r)
+				res.Invocations++
+				if r.ColdStart {
+					res.ColdStarts++
+				}
+				pendingInv[i]--
+				if pendingInv[i] == 0 {
+					finishStage(i)
+				}
+			})
+			if err != nil {
+				panic(fmt.Sprintf("workflow: invoke %s: %v", st.Function, err))
+			}
+		}
+	}
+	// Validate functions exist before launching anything.
+	known := make(map[string]bool)
+	for _, fn := range e.Cluster.Functions() {
+		known[fn] = true
+	}
+	for _, st := range d.stages {
+		if !known[st.Function] {
+			return fmt.Errorf("workflow: function %q not registered", st.Function)
+		}
+	}
+	for i, s := range d.stages {
+		remainingDeps[i] = len(s.Deps)
+	}
+	for i, s := range d.stages {
+		if len(s.Deps) == 0 {
+			launch(i)
+		}
+	}
+	return nil
+}
+
+// StageNames returns sorted stage names of a result (stable for reports).
+func (r Result) StageNames() []string {
+	var names []string
+	for k := range r.PerStage {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
