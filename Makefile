@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: verify build vet test bench
+
+# Tier-1 gate: build everything, vet, and run the full test suite with the
+# race detector. CI and pre-commit both run this target.
+verify: build vet
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"aquatope/internal/experiments"
+	"aquatope/internal/telemetry"
 )
 
 var experimentOrder = []string{
@@ -29,6 +30,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, fig9..fig18, all)")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick | full")
 	seed := flag.Int64("seed", 1, "global random seed")
+	traceOut := flag.String("trace-out", "", "write telemetry spans from end-to-end experiments as JSONL to this file")
+	metricsOut := flag.String("metrics-out", "", "write the metric registry snapshot as JSON to this file")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -36,6 +39,17 @@ func main() {
 		scale = experiments.Full
 	}
 	scale.Seed = *seed
+
+	var collector *telemetry.Collector
+	if *traceOut != "" {
+		collector = telemetry.NewCollector()
+		scale.Tracer = collector
+	}
+	var registry *telemetry.Registry
+	if *metricsOut != "" {
+		registry = telemetry.NewRegistry()
+		scale.Registry = registry
+	}
 
 	runners := map[string]func() string{
 		"table1":            func() string { return experiments.Table1(scale).Table() },
@@ -89,5 +103,20 @@ func main() {
 		fmt.Printf("=== %s ===\n", titles[id])
 		fmt.Print(runners[id]())
 		fmt.Printf("(%s, scale=%s, %.1fs)\n\n", id, *scaleName, time.Since(start).Seconds())
+	}
+
+	if collector != nil {
+		if err := collector.WriteJSONLFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d spans to %s\n", collector.Len(), *traceOut)
+	}
+	if registry != nil {
+		if err := registry.WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "writing metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
 }

@@ -18,6 +18,8 @@ import (
 	"aquatope/internal/core"
 	"aquatope/internal/faas"
 	"aquatope/internal/pool"
+	"aquatope/internal/socialgraph"
+	"aquatope/internal/telemetry"
 	"aquatope/internal/trace"
 )
 
@@ -32,7 +34,10 @@ func buildApp(name string, seed int64) *apps.App {
 	case "videoproc":
 		return apps.NewVideoProcessing()
 	case "socialnet":
-		return apps.NewSocialNetwork(nil)
+		// The follower graph drives per-post fan-out widths; derive it
+		// from the run seed so reruns are reproducible but distinct
+		// seeds explore different graphs.
+		return apps.NewSocialNetwork(socialgraph.Reed98Like(seed))
 	default:
 		return nil
 	}
@@ -45,6 +50,8 @@ func main() {
 	trainMin := flag.Int("train", 1440, "training prefix in minutes")
 	budget := flag.Int("budget", 30, "resource-search profiling budget")
 	seed := flag.Int64("seed", 1, "random seed")
+	traceOut := flag.String("trace-out", "", "write telemetry spans as JSONL to this file")
+	metricsOut := flag.String("metrics-out", "", "write the metric registry snapshot as JSON to this file")
 	flag.Parse()
 
 	app := buildApp(*appName, *seed)
@@ -72,6 +79,13 @@ func main() {
 		RuntimeNoise: faas.Noise{GaussianStd: 0.1, OutlierRate: 0.01, OutlierScale: 3},
 		Seed:         *seed,
 	}
+	var collector *telemetry.Collector
+	if *traceOut != "" {
+		collector = telemetry.NewCollector()
+		cfg.Tracer = collector
+	}
+	registry := telemetry.NewRegistry()
+	cfg.Registry = registry
 	switch *system {
 	case "aquatope":
 		cfg.PoolFactory = aquaPool(false)
@@ -104,6 +118,7 @@ func main() {
 	fmt.Printf("QoS (%.2fs) violations: %.1f%%\n", app.QoS, ar.ViolationRate()*100)
 	fmt.Printf("cold-start rate:       %.1f%%\n", res.ColdStartRate()*100)
 	fmt.Printf("mean latency:          %.2fs\n", ar.MeanLatency)
+	fmt.Printf("latency p50/p95/p99:   %.2fs / %.2fs / %.2fs\n", ar.P50, ar.P95, ar.P99)
 	fmt.Printf("CPU time:              %.1f core-s\n", ar.CPUTime)
 	fmt.Printf("memory time:           %.1f GB-s\n", ar.MemTime)
 	fmt.Printf("provisioned memory:    %.1f GB-s\n", res.ProvisionedMemGBs)
@@ -113,6 +128,21 @@ func main() {
 			c := ar.ChosenConfig[fn]
 			fmt.Printf("  %-16s cpu=%.2g mem=%.0fMB\n", fn, c.CPU, c.MemoryMB)
 		}
+	}
+
+	if collector != nil {
+		if err := collector.WriteJSONLFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d spans to %s\n", collector.Len(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := registry.WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "writing metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
 }
 

@@ -69,14 +69,14 @@ func replay(app *apps.App, tr *trace.Trace, factory func(fn string) pool.Policy,
 		}
 	})
 	var provBase float64
-	eng.Schedule(trainCut, func() { provBase = cl.Metrics().ProvisionedMemTime })
+	eng.Schedule(trainCut, func() { provBase = cl.Metrics().ProvisionedMemTime() })
 	eng.RunUntil(float64(tr.DurationMin)*60 + 300)
 	cl.Flush()
 
 	if inv > 0 {
 		coldRate = float64(cold) / float64(inv)
 	}
-	return coldRate, cl.Metrics().ProvisionedMemTime - provBase, stats.Mean(lats)
+	return coldRate, cl.Metrics().ProvisionedMemTime() - provBase, stats.Mean(lats)
 }
 
 func main() {

@@ -27,6 +27,7 @@ import (
 	"aquatope/internal/gp"
 	"aquatope/internal/qmc"
 	"aquatope/internal/stats"
+	"aquatope/internal/telemetry"
 )
 
 // Observation is one profiled resource configuration: the normalized
@@ -137,6 +138,10 @@ type Engine struct {
 
 	changeEvents int
 	sinceHyper   int
+
+	tracer  telemetry.Tracer
+	iter    int     // Observe calls, the telemetry iteration index
+	lastAcq float64 // acquisition value of the last batch's first slot
 }
 
 // New returns an engine for the given configuration.
@@ -145,11 +150,15 @@ func New(cfg Config) *Engine {
 	if cfg.Dim <= 0 {
 		panic("bo: Dim must be positive")
 	}
-	e := &Engine{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	e := &Engine{cfg: cfg, rng: stats.NewRNG(cfg.Seed), tracer: telemetry.Nop{}}
 	e.costGP = gp.New(gp.NewMatern52(cfg.Dim), cfg.NoiseVar)
 	e.latGP = gp.New(gp.NewMatern52(cfg.Dim), cfg.NoiseVar)
 	return e
 }
+
+// SetTracer installs the telemetry tracer receiving one bo.iteration point
+// per Observe call. A nil tracer restores the no-op default.
+func (e *Engine) SetTracer(t telemetry.Tracer) { e.tracer = telemetry.OrNop(t) }
 
 // Config returns the engine configuration (after defaulting).
 func (e *Engine) Config() Config { return e.cfg }
@@ -327,6 +336,9 @@ func (e *Engine) selectBatch(cands [][]float64, q int) [][]float64 {
 		if bestIdx < 0 {
 			break
 		}
+		if slot == 0 {
+			e.lastAcq = bestGain
+		}
 		taken[bestIdx] = true
 		batch = append(batch, cands[bestIdx])
 		// Fantasy update: pending point lowers the per-sample incumbent.
@@ -457,6 +469,41 @@ func (e *Engine) Observe(batch []Observation) {
 		e.maybeHandleChange()
 	}
 	e.refit()
+	e.iter++
+	if e.tracer.Enabled() {
+		pruned := 0
+		for _, f := range flags {
+			if f {
+				pruned++
+			}
+		}
+		fields := telemetry.Fields{
+			"observations": float64(len(e.obs)),
+			"pruned":       float64(pruned),
+			"acquisition":  e.lastAcq,
+		}
+		if _, cost, ok := e.BestFeasible(); ok {
+			fields["incumbent_cost"] = cost
+			fields["incumbent_latency"] = e.incumbentLatency()
+		}
+		e.tracer.Point(telemetry.KindBOIteration, "bo", 0, float64(e.iter), fields)
+	}
+}
+
+// incumbentLatency returns the latency of the best feasible observation.
+func (e *Engine) incumbentLatency() float64 {
+	best := math.Inf(1)
+	lat := 0.0
+	for i, o := range e.obs {
+		if e.anomalous[i] || o.Latency > e.cfg.QoS {
+			continue
+		}
+		if o.Cost < best {
+			best = o.Cost
+			lat = o.Latency
+		}
+	}
+	return lat
 }
 
 // isAnomalous screens one observation against the current surrogates: the

@@ -15,14 +15,17 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"aquatope/internal/apps"
+	"aquatope/internal/bo"
 	"aquatope/internal/faas"
 	"aquatope/internal/loadgen"
 	"aquatope/internal/pool"
 	"aquatope/internal/resource"
 	"aquatope/internal/sim"
 	"aquatope/internal/stats"
+	"aquatope/internal/telemetry"
 	"aquatope/internal/trace"
 	"aquatope/internal/workflow"
 )
@@ -62,7 +65,14 @@ type Config struct {
 	ColdStartFraction float64
 	// ClusterCfg overrides the live platform configuration.
 	ClusterCfg faas.Config
-	Seed       int64
+	// Tracer receives workflow/stage/invocation spans, container lifecycle
+	// and pool/BO decision points from the live run (nil = tracing off).
+	Tracer telemetry.Tracer
+	// Registry collects metrics from all subsystems of the live run. When
+	// nil a private registry is created (latency percentiles are always
+	// computed from it).
+	Registry *telemetry.Registry
+	Seed     int64
 }
 
 // AppResult reports one application's test-window outcome.
@@ -74,6 +84,9 @@ type AppResult struct {
 	CPUTime       float64
 	MemTime       float64
 	MeanLatency   float64
+	// P50/P95/P99 are end-to-end workflow latency percentiles over the
+	// test window, from the app's telemetry histogram.
+	P50, P95, P99 float64
 	// ChosenConfig is the configuration the resource manager installed.
 	ChosenConfig map[string]faas.ResourceConfig
 }
@@ -128,11 +141,23 @@ func (r Result) ColdStartRate() float64 {
 	return float64(c) / float64(n)
 }
 
+// appNames returns the PerApp keys in sorted order so float aggregation
+// below is independent of map iteration order (same-seed runs must produce
+// bit-identical results).
+func (r Result) appNames() []string {
+	names := make([]string, 0, len(r.PerApp))
+	for name := range r.PerApp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // CPUTime returns total core-seconds across apps (test window).
 func (r Result) CPUTime() float64 {
 	var s float64
-	for _, a := range r.PerApp {
-		s += a.CPUTime
+	for _, name := range r.appNames() {
+		s += r.PerApp[name].CPUTime
 	}
 	return s
 }
@@ -140,8 +165,8 @@ func (r Result) CPUTime() float64 {
 // MemTime returns total GB-seconds across apps (test window).
 func (r Result) MemTime() float64 {
 	var s float64
-	for _, a := range r.PerApp {
-		s += a.MemTime
+	for _, name := range r.appNames() {
+		s += r.PerApp[name].MemTime
 	}
 	return s
 }
@@ -155,6 +180,11 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("core: TrainMin must be positive")
 	}
 	rng := stats.NewRNG(cfg.Seed)
+	tracer := telemetry.OrNop(cfg.Tracer)
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 
 	// Phase 1: per-app resource search (offline profiling).
 	chosen := make(map[string]map[string]faas.ResourceConfig)
@@ -167,6 +197,11 @@ func Run(cfg Config) (Result, error) {
 			prof.Noise = cfg.ProfileNoise
 			prof.ColdStartFraction = cfg.ColdStartFraction
 			m := cfg.ManagerFactory(space, prof, a.QoS, rng.Int63())
+			if bm, ok := m.(interface{ Engine() *bo.Engine }); ok {
+				if be := bm.Engine(); be != nil {
+					be.SetTracer(tracer)
+				}
+			}
 			budget := cfg.SearchBudget
 			if budget <= 0 {
 				budget = 30
@@ -179,14 +214,17 @@ func Run(cfg Config) (Result, error) {
 		chosen[a.Name] = best
 	}
 
-	// Phase 2: live cluster.
+	// Phase 2: live cluster, instrumented end to end.
 	eng := sim.NewEngine()
+	eng.SetMetrics(reg)
 	ccfg := cfg.ClusterCfg
 	ccfg.Noise = cfg.RuntimeNoise
+	ccfg.Registry = reg
 	if ccfg.Seed == 0 {
 		ccfg.Seed = cfg.Seed + 1
 	}
 	cl := faas.NewCluster(eng, ccfg)
+	cl.SetTracer(tracer)
 	for _, comp := range cfg.Components {
 		if err := comp.App.Register(cl); err != nil {
 			return Result{}, err
@@ -205,10 +243,15 @@ func Run(cfg Config) (Result, error) {
 		res  *AppResult
 		qos  float64
 		lats []float64
+		hist *telemetry.Histogram
 	}
 	statsByApp := make(map[string]*appStats)
 	for _, comp := range cfg.Components {
-		st := &appStats{res: &AppResult{ChosenConfig: chosen[comp.App.Name]}, qos: comp.App.QoS}
+		st := &appStats{
+			res:  &AppResult{ChosenConfig: chosen[comp.App.Name]},
+			qos:  comp.App.QoS,
+			hist: reg.Histogram("workflow.latency_s." + comp.App.Name),
+		}
 		statsByApp[comp.App.Name] = st
 		driver := &loadgen.Driver{
 			Executor: ex,
@@ -228,6 +271,7 @@ func Run(cfg Config) (Result, error) {
 				st.res.CPUTime += r.CPUTime()
 				st.res.MemTime += r.MemTime()
 				st.lats = append(st.lats, r.Latency())
+				st.hist.Observe(r.Latency())
 			},
 		}
 		driver.Start()
@@ -267,7 +311,7 @@ func Run(cfg Config) (Result, error) {
 
 	// Metrics snapshot at the training boundary.
 	var provBase float64
-	eng.Schedule(trainCut, func() { provBase = cl.Metrics().ProvisionedMemTime })
+	eng.Schedule(trainCut, func() { provBase = cl.Metrics().ProvisionedMemTime() })
 
 	horizon := 0.0
 	for _, comp := range cfg.Components {
@@ -283,10 +327,13 @@ func Run(cfg Config) (Result, error) {
 	for name, st := range statsByApp {
 		if len(st.lats) > 0 {
 			st.res.MeanLatency = stats.Mean(st.lats)
+			st.res.P50 = st.hist.Quantile(0.50)
+			st.res.P95 = st.hist.Quantile(0.95)
+			st.res.P99 = st.hist.Quantile(0.99)
 		}
 		out.PerApp[name] = *st.res
 	}
-	out.ProvisionedMemGBs = cl.Metrics().ProvisionedMemTime - provBase
+	out.ProvisionedMemGBs = cl.Metrics().ProvisionedMemTime() - provBase
 	if math.IsNaN(out.ProvisionedMemGBs) || out.ProvisionedMemGBs < 0 {
 		out.ProvisionedMemGBs = 0
 	}

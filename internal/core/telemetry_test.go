@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"aquatope/internal/telemetry"
+)
+
+// runTraced executes a small end-to-end run with a span collector and
+// registry attached and returns both.
+func runTraced(t *testing.T, seed int64) (*telemetry.Collector, *telemetry.Registry) {
+	t.Helper()
+	col := telemetry.NewCollector()
+	reg := telemetry.NewRegistry()
+	_, err := Run(Config{
+		Components: smallComponents(2),
+		TrainMin:   120,
+		Tracer:     col,
+		Registry:   reg,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, reg
+}
+
+func TestRunEmitsSpanTree(t *testing.T) {
+	col, reg := runTraced(t, 3)
+	spans := col.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans collected")
+	}
+	byID := make(map[telemetry.SpanID]telemetry.Span, len(spans))
+	var workflows, stages, invocations int
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		switch s.Kind {
+		case telemetry.KindWorkflow:
+			workflows++
+			if s.Parent != 0 {
+				t.Fatalf("workflow span %d has parent %d", s.ID, s.Parent)
+			}
+			if s.End < s.Start {
+				t.Fatalf("workflow span %d ends before it starts", s.ID)
+			}
+		case telemetry.KindStage:
+			stages++
+			p, ok := byID[s.Parent]
+			if !ok || p.Kind != telemetry.KindWorkflow {
+				t.Fatalf("stage span %d not parented to a workflow", s.ID)
+			}
+		case telemetry.KindInvocation:
+			invocations++
+			p, ok := byID[s.Parent]
+			if !ok || p.Kind != telemetry.KindStage {
+				t.Fatalf("invocation span %d not parented to a stage", s.ID)
+			}
+			if s.Fields["exec_s"] <= 0 {
+				t.Fatalf("invocation span %d missing exec_s", s.ID)
+			}
+		}
+	}
+	if workflows == 0 || stages == 0 || invocations == 0 {
+		t.Fatalf("span kinds missing: wf=%d stage=%d inv=%d", workflows, stages, invocations)
+	}
+	// A 2-stage chain: each workflow has exactly 2 stages and 2 invocations.
+	if stages != 2*workflows || invocations != 2*workflows {
+		t.Fatalf("chain2 shape: wf=%d stage=%d inv=%d", workflows, stages, invocations)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["sim.events"] == 0 {
+		t.Fatal("engine metrics not registered")
+	}
+	if snap.Counters["faas.cold_starts"]+snap.Counters["faas.warm_starts"] == 0 {
+		t.Fatal("platform metrics not registered")
+	}
+	h, ok := snap.Histograms["workflow.latency_s.chain2"]
+	if !ok || h.Count == 0 {
+		t.Fatal("per-app workflow latency histogram missing")
+	}
+	if !(h.P50 <= h.P95 && h.P95 <= h.P99) {
+		t.Fatalf("percentiles not ordered: %v <= %v <= %v", h.P50, h.P95, h.P99)
+	}
+}
+
+func TestRunSpanStreamDeterministic(t *testing.T) {
+	col1, reg1 := runTraced(t, 9)
+	col2, reg2 := runTraced(t, 9)
+	var b1, b2 bytes.Buffer
+	if err := col1.WriteJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := col2.WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("same-seed runs produced different span streams")
+	}
+	var s1, s2 bytes.Buffer
+	if err := reg1.WriteJSON(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg2.WriteJSON(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatal("same-seed runs produced different metric snapshots")
+	}
+}
+
+func TestRunPercentilesWithoutExplicitRegistry(t *testing.T) {
+	// Percentiles come from a private registry when none is supplied.
+	res, err := Run(Config{
+		Components: smallComponents(5),
+		TrainMin:   120,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := res.PerApp["chain2"]
+	if app.Workflows == 0 {
+		t.Fatal("no workflows")
+	}
+	if app.P50 <= 0 || app.P95 < app.P50 || app.P99 < app.P95 {
+		t.Fatalf("percentiles wrong: p50=%v p95=%v p99=%v", app.P50, app.P95, app.P99)
+	}
+}

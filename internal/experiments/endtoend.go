@@ -62,6 +62,8 @@ func Fig17(s Scale) Fig17Result {
 		SearchBudget:   s.SearchBudget,
 		ProfileNoise:   profileNoise,
 		RuntimeNoise:   runtimeNoise,
+		Tracer:         s.Tracer,
+		Registry:       s.Registry,
 		Seed:           s.Seed,
 	})
 	if err != nil {
@@ -134,6 +136,8 @@ func Fig18(s Scale) Fig18Result {
 			SearchBudget: s.SearchBudget,
 			ProfileNoise: profileNoise,
 			RuntimeNoise: runtimeNoise,
+			Tracer:       s.Tracer,
+			Registry:     s.Registry,
 			Seed:         s.Seed,
 		}
 		switch name {

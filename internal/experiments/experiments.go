@@ -13,6 +13,7 @@ import (
 	"aquatope/internal/faas"
 	"aquatope/internal/pool"
 	"aquatope/internal/stats"
+	"aquatope/internal/telemetry"
 	"aquatope/internal/trace"
 )
 
@@ -30,7 +31,11 @@ type Scale struct {
 	SearchBudget int
 	// ModelEpochs scales neural-model training effort.
 	ModelEpochs int
-	Seed        int64
+	// Tracer, when non-nil, receives spans from end-to-end experiment
+	// runs (Fig. 17/18); Registry collects their metric snapshots.
+	Tracer   telemetry.Tracer
+	Registry *telemetry.Registry
+	Seed     int64
 }
 
 // Quick is a minutes-scale configuration for tests and smoke benches.

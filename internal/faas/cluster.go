@@ -3,9 +3,11 @@ package faas
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"aquatope/internal/sim"
 	"aquatope/internal/stats"
+	"aquatope/internal/telemetry"
 )
 
 // Noise models platform interference (§2.2 "Uncertainty in FaaS"): Gaussian
@@ -76,6 +78,8 @@ type pendingInvocation struct {
 	inputSize float64
 	submitAt  float64
 	done      func(InvocationResult)
+	// span is the invocation's telemetry span (0 when tracing is off).
+	span telemetry.SpanID
 }
 
 // Config configures a Cluster.
@@ -90,7 +94,11 @@ type Config struct {
 	DefaultKeepAlive float64
 	// Noise is the platform interference model.
 	Noise Noise
-	Seed  int64
+	// Registry, when non-nil, backs the cluster's Metrics so platform
+	// counters and latency histograms land in a snapshot shared with
+	// other subsystems.
+	Registry *telemetry.Registry
+	Seed     int64
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +126,7 @@ type Cluster struct {
 	fns      map[string]*function
 	fnOrder  []string
 	metrics  *Metrics
+	tracer   telemetry.Tracer
 	draining bool // reentrancy guard for queue draining
 }
 
@@ -129,7 +138,8 @@ func NewCluster(eng *sim.Engine, cfg Config) *Cluster {
 		eng:     eng,
 		rng:     stats.NewRNG(cfg.Seed),
 		fns:     make(map[string]*function),
-		metrics: NewMetrics(),
+		metrics: NewMetricsOn(cfg.Registry),
+		tracer:  telemetry.Nop{},
 	}
 	for i := 0; i < cfg.Invokers; i++ {
 		c.invokers = append(c.invokers, &Invoker{
@@ -145,6 +155,13 @@ func NewCluster(eng *sim.Engine, cfg Config) *Cluster {
 
 // Engine returns the underlying simulation engine.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// SetTracer installs the telemetry tracer receiving invocation spans and
+// container lifecycle events. A nil tracer restores the no-op default.
+func (c *Cluster) SetTracer(t telemetry.Tracer) { c.tracer = telemetry.OrNop(t) }
+
+// Tracer returns the cluster's tracer (never nil).
+func (c *Cluster) Tracer() telemetry.Tracer { return c.tracer }
 
 // Metrics returns the cluster's metric accumulator.
 func (c *Cluster) Metrics() *Metrics { return c.metrics }
@@ -271,11 +288,20 @@ func (c *Cluster) lruIdle(fn *function) *container {
 
 // Invoke submits an invocation; done is called on completion (may be nil).
 func (c *Cluster) Invoke(name string, inputSize float64, done func(InvocationResult)) error {
+	return c.InvokeSpan(name, inputSize, 0, done)
+}
+
+// InvokeSpan is Invoke with an explicit parent telemetry span, linking the
+// invocation's span to the workflow stage (or other operation) that issued
+// it. The span opens at submission, so its duration covers queue wait and
+// cold-start setup as well as execution.
+func (c *Cluster) InvokeSpan(name string, inputSize float64, parent telemetry.SpanID, done func(InvocationResult)) error {
 	fn, ok := c.fns[name]
 	if !ok {
 		return fmt.Errorf("faas: unknown function %q", name)
 	}
 	p := &pendingInvocation{inputSize: inputSize, submitAt: c.eng.Now(), done: done}
+	p.span = c.tracer.StartSpan(telemetry.KindInvocation, name, parent, p.submitAt)
 	c.dispatch(fn, p)
 	return nil
 }
@@ -348,6 +374,19 @@ func (c *Cluster) spawnContainer(fn *function, prewarmed bool) *container {
 	iv.memUsedMB += ct.cfg.MemoryMB
 	fn.warming = append(fn.warming, ct)
 	c.metrics.containerCreated()
+	if c.tracer.Enabled() {
+		pre := 0.0
+		if prewarmed {
+			pre = 1
+		}
+		c.tracer.Point(telemetry.KindContainerCreate, fn.spec.Name, 0, c.eng.Now(), telemetry.Fields{
+			"container": float64(ct.id),
+			"invoker":   float64(iv.ID),
+			"mem_mb":    ct.cfg.MemoryMB,
+			"prewarmed": pre,
+			"init_s":    init,
+		})
+	}
 	c.eng.Schedule(ct.warmAt, func() {
 		if ct.state != stateWarming {
 			return // reserved/killed meanwhile
@@ -447,6 +486,21 @@ func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool
 			MemoryMB:   ct.cfg.MemoryMB,
 		}
 		c.metrics.record(res)
+		if p.span != 0 {
+			coldF := 0.0
+			if cold {
+				coldF = 1
+			}
+			c.tracer.EndSpan(p.span, c.eng.Now(), telemetry.Fields{
+				"cold":      coldF,
+				"wait_s":    res.WaitTime,
+				"exec_s":    exec,
+				"container": float64(ct.id),
+				"invoker":   float64(iv.ID),
+				"cpu":       ct.cfg.CPU,
+				"mem_mb":    ct.cfg.MemoryMB,
+			})
+		}
 		ct.state = stateIdle
 		ct.lastUsed = c.eng.Now()
 		fn.idle = append(fn.idle, ct)
@@ -559,6 +613,14 @@ func (c *Cluster) killContainer(ct *container) {
 	delete(ct.invoker.containers, ct)
 	ct.invoker.memUsedMB -= ct.cfg.MemoryMB
 	c.metrics.containerDied(ct.cfg.MemoryMB, c.eng.Now()-ct.born)
+	if c.tracer.Enabled() {
+		c.tracer.Point(telemetry.KindContainerKill, fn.spec.Name, 0, c.eng.Now(), telemetry.Fields{
+			"container":  float64(ct.id),
+			"invoker":    float64(ct.invoker.ID),
+			"mem_mb":     ct.cfg.MemoryMB,
+			"lifetime_s": c.eng.Now() - ct.born,
+		})
+	}
 	// Freed capacity may unblock queued work.
 	c.drainAllQueues()
 }
@@ -582,11 +644,24 @@ func (c *Cluster) drainAllQueues() {
 func (c *Cluster) Flush() {
 	now := c.eng.Now()
 	for _, iv := range c.invokers {
+		// Collect and sort before accounting: iterating the pointer-keyed
+		// map directly would sum mem-time in random order and perturb the
+		// last ULP across same-seed runs.
+		alive := make([]*container, 0, len(iv.containers))
 		for ct := range iv.containers {
 			if ct.state != stateDead {
-				c.metrics.containerDied(ct.cfg.MemoryMB, now-ct.born)
-				ct.state = stateDead
+				alive = append(alive, ct)
 			}
+		}
+		sort.Slice(alive, func(i, j int) bool {
+			if alive[i].fn.spec.Name != alive[j].fn.spec.Name {
+				return alive[i].fn.spec.Name < alive[j].fn.spec.Name
+			}
+			return alive[i].id < alive[j].id
+		})
+		for _, ct := range alive {
+			c.metrics.containerDied(ct.cfg.MemoryMB, now-ct.born)
+			ct.state = stateDead
 		}
 		iv.containers = make(map[*container]struct{})
 		iv.memUsedMB = 0

@@ -159,8 +159,8 @@ func TestKeepAliveTerminatesIdleContainers(t *testing.T) {
 	if idle != 0 {
 		t.Fatalf("idle after keep-alive = %d, want 0", idle)
 	}
-	if cl.Metrics().ContainersKilled != 1 {
-		t.Fatalf("killed = %d, want 1", cl.Metrics().ContainersKilled)
+	if cl.Metrics().ContainersKilled() != 1 {
+		t.Fatalf("killed = %d, want 1", cl.Metrics().ContainersKilled())
 	}
 }
 
@@ -246,20 +246,20 @@ func TestMetricsAccounting(t *testing.T) {
 	cl.Invoke("f", 1, nil)
 	eng.Run()
 	m := cl.Metrics()
-	if m.Invocations() != 1 || m.ColdStarts != 1 {
+	if m.Invocations() != 1 || m.ColdStarts() != 1 {
 		t.Fatalf("counts wrong: %+v", m)
 	}
 	// exec = 2/2 = 1s at CPU 2 → CPU time 2 core-s; mem 1GB × 1s = 1 GB-s.
-	if math.Abs(m.CPUTime-2) > 1e-9 {
-		t.Fatalf("CPUTime = %v, want 2", m.CPUTime)
+	if math.Abs(m.CPUTime()-2) > 1e-9 {
+		t.Fatalf("CPUTime = %v, want 2", m.CPUTime())
 	}
-	if math.Abs(m.MemTime-1) > 1e-9 {
-		t.Fatalf("MemTime = %v, want 1", m.MemTime)
+	if math.Abs(m.MemTime()-1) > 1e-9 {
+		t.Fatalf("MemTime = %v, want 1", m.MemTime())
 	}
 	cl.Flush()
 	// Provisioned: container born t=0, flushed at end (t=2): 1GB × 2s.
-	if m.ProvisionedMemTime < 2-1e-9 {
-		t.Fatalf("ProvisionedMemTime = %v, want >= 2", m.ProvisionedMemTime)
+	if m.ProvisionedMemTime() < 2-1e-9 {
+		t.Fatalf("ProvisionedMemTime = %v, want >= 2", m.ProvisionedMemTime())
 	}
 }
 

@@ -1,59 +1,116 @@
 package faas
 
-// Metrics accumulates the platform statistics the paper's evaluation
-// reports: cold/warm start counts, CPU-time and memory-time cost
-// components, and provisioned memory-time (how long container memory was
-// held, whether used or idle — the Fig. 9b metric).
+import "aquatope/internal/telemetry"
+
+// Metrics is the platform's metric accumulator. It is a thin compatibility
+// facade over a telemetry.Registry: every statistic the paper's evaluation
+// reports — cold/warm start counts, CPU-time and memory-time cost
+// components, provisioned memory-time (the Fig. 9b metric), container
+// churn — lives in registry counters, plus streaming latency/exec/wait
+// histograms for percentile reporting, all under the "faas." namespace.
+// The accessor methods preserve the pre-registry API.
 type Metrics struct {
 	Results []InvocationResult
-
-	ColdStarts int
-	WarmStarts int
-
-	// CPUTime is Σ cpuLimit × execTime over invocations (core-seconds).
-	CPUTime float64
-	// MemTime is Σ memLimit × execTime over invocations (GB-seconds).
-	MemTime float64
-	// ProvisionedMemTime is Σ memLimit × containerLifetime (GB-seconds):
-	// memory held by containers whether busy or idle.
-	ProvisionedMemTime float64
-
-	ContainersCreated int
-	ContainersKilled  int
 
 	// KeepResults controls whether per-invocation results are retained
 	// (slices can get large on long traces).
 	KeepResults bool
+
+	reg *telemetry.Registry
+
+	coldStarts        *telemetry.Counter
+	warmStarts        *telemetry.Counter
+	cpuTime           *telemetry.Counter
+	memTime           *telemetry.Counter
+	provisionedMem    *telemetry.Counter
+	containersCreated *telemetry.Counter
+	containersKilled  *telemetry.Counter
+
+	latency  *telemetry.Histogram
+	execTime *telemetry.Histogram
+	waitTime *telemetry.Histogram
 }
 
-// NewMetrics returns an empty accumulator that retains per-invocation
-// results.
-func NewMetrics() *Metrics { return &Metrics{KeepResults: true} }
+// NewMetrics returns an accumulator on a private registry that retains
+// per-invocation results.
+func NewMetrics() *Metrics { return NewMetricsOn(telemetry.NewRegistry()) }
+
+// NewMetricsOn returns an accumulator recording into reg (shared with other
+// subsystems when the caller exports one combined snapshot). A nil reg gets
+// a private registry.
+func NewMetricsOn(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Metrics{
+		KeepResults:       true,
+		reg:               reg,
+		coldStarts:        reg.Counter("faas.cold_starts"),
+		warmStarts:        reg.Counter("faas.warm_starts"),
+		cpuTime:           reg.Counter("faas.cpu_time_core_s"),
+		memTime:           reg.Counter("faas.mem_time_gb_s"),
+		provisionedMem:    reg.Counter("faas.provisioned_mem_time_gb_s"),
+		containersCreated: reg.Counter("faas.containers_created"),
+		containersKilled:  reg.Counter("faas.containers_killed"),
+		latency:           reg.Histogram("faas.invocation.latency_s"),
+		execTime:          reg.Histogram("faas.invocation.exec_s"),
+		waitTime:          reg.Histogram("faas.invocation.wait_s"),
+	}
+}
+
+// Registry returns the backing registry (for export or for registering
+// further instruments alongside the platform's).
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
 
 func (m *Metrics) record(r InvocationResult) {
 	if m.KeepResults {
 		m.Results = append(m.Results, r)
 	}
 	if r.ColdStart {
-		m.ColdStarts++
+		m.coldStarts.Inc()
 	} else {
-		m.WarmStarts++
+		m.warmStarts.Inc()
 	}
-	m.CPUTime += r.CostCPUTime()
-	m.MemTime += r.CostMemTime()
+	m.cpuTime.Add(r.CostCPUTime())
+	m.memTime.Add(r.CostMemTime())
+	m.latency.Observe(r.Latency())
+	m.execTime.Observe(r.ExecTime)
+	m.waitTime.Observe(r.WaitTime)
 }
 
-func (m *Metrics) containerCreated() { m.ContainersCreated++ }
+func (m *Metrics) containerCreated() { m.containersCreated.Inc() }
 
 func (m *Metrics) containerDied(memMB, lifetime float64) {
-	m.ContainersKilled++
+	m.containersKilled.Inc()
 	if lifetime > 0 {
-		m.ProvisionedMemTime += memMB / 1024 * lifetime
+		m.provisionedMem.Add(memMB / 1024 * lifetime)
 	}
 }
 
+// ColdStarts returns the number of cold-started invocations.
+func (m *Metrics) ColdStarts() int { return int(m.coldStarts.Value()) }
+
+// WarmStarts returns the number of warm-started invocations.
+func (m *Metrics) WarmStarts() int { return int(m.warmStarts.Value()) }
+
+// CPUTime returns Σ cpuLimit × execTime over invocations (core-seconds).
+func (m *Metrics) CPUTime() float64 { return m.cpuTime.Value() }
+
+// MemTime returns Σ memLimit × execTime over invocations (GB-seconds).
+func (m *Metrics) MemTime() float64 { return m.memTime.Value() }
+
+// ProvisionedMemTime returns Σ memLimit × containerLifetime (GB-seconds):
+// memory held by containers whether busy or idle.
+func (m *Metrics) ProvisionedMemTime() float64 { return m.provisionedMem.Value() }
+
+// ContainersCreated returns the number of containers provisioned.
+func (m *Metrics) ContainersCreated() int { return int(m.containersCreated.Value()) }
+
+// ContainersKilled returns the number of containers terminated.
+func (m *Metrics) ContainersKilled() int { return int(m.containersKilled.Value()) }
+
 // Invocations returns the total number of completed invocations.
-func (m *Metrics) Invocations() int { return m.ColdStarts + m.WarmStarts }
+func (m *Metrics) Invocations() int { return m.ColdStarts() + m.WarmStarts() }
 
 // ColdStartRate returns the fraction of invocations that were cold starts.
 func (m *Metrics) ColdStartRate() float64 {
@@ -61,11 +118,24 @@ func (m *Metrics) ColdStartRate() float64 {
 	if total == 0 {
 		return 0
 	}
-	return float64(m.ColdStarts) / float64(total)
+	return float64(m.ColdStarts()) / float64(total)
 }
 
-// Reset clears all counters.
+// LatencyHistogram returns the end-to-end invocation latency histogram.
+func (m *Metrics) LatencyHistogram() *telemetry.Histogram { return m.latency }
+
+// Reset clears all counters, histograms and retained results, preserving
+// KeepResults and the registry binding.
 func (m *Metrics) Reset() {
-	keep := m.KeepResults
-	*m = Metrics{KeepResults: keep}
+	m.Results = nil
+	m.coldStarts.Reset()
+	m.warmStarts.Reset()
+	m.cpuTime.Reset()
+	m.memTime.Reset()
+	m.provisionedMem.Reset()
+	m.containersCreated.Reset()
+	m.containersKilled.Reset()
+	m.latency.Reset()
+	m.execTime.Reset()
+	m.waitTime.Reset()
 }

@@ -1,0 +1,128 @@
+package faas
+
+import (
+	"math"
+	"testing"
+
+	"aquatope/internal/telemetry"
+)
+
+func TestMetricsRecord(t *testing.T) {
+	m := NewMetrics()
+	m.record(InvocationResult{
+		ColdStart: true, SubmitTime: 0, StartTime: 1, EndTime: 3,
+		WaitTime: 1, ExecTime: 2, CPU: 2, MemoryMB: 1024,
+	})
+	m.record(InvocationResult{
+		ColdStart: false, SubmitTime: 3, StartTime: 3, EndTime: 4,
+		WaitTime: 0, ExecTime: 1, CPU: 2, MemoryMB: 1024,
+	})
+	if m.ColdStarts() != 1 || m.WarmStarts() != 1 || m.Invocations() != 2 {
+		t.Fatalf("counts: cold=%d warm=%d", m.ColdStarts(), m.WarmStarts())
+	}
+	// CPU time: 2×2 + 2×1 = 6 core-s; mem time: 1GB×2 + 1GB×1 = 3 GB-s.
+	if math.Abs(m.CPUTime()-6) > 1e-9 {
+		t.Fatalf("CPUTime = %v, want 6", m.CPUTime())
+	}
+	if math.Abs(m.MemTime()-3) > 1e-9 {
+		t.Fatalf("MemTime = %v, want 3", m.MemTime())
+	}
+	if len(m.Results) != 2 {
+		t.Fatalf("Results retained %d, want 2", len(m.Results))
+	}
+	h := m.LatencyHistogram()
+	if h.Count() != 2 {
+		t.Fatalf("latency histogram count = %d, want 2", h.Count())
+	}
+	// Latencies 3 and 1: sum must match exactly (sum is not bucketed).
+	if math.Abs(h.Sum()-4) > 1e-9 {
+		t.Fatalf("latency sum = %v, want 4", h.Sum())
+	}
+}
+
+func TestMetricsRecordDropsResultsWhenDisabled(t *testing.T) {
+	m := NewMetrics()
+	m.KeepResults = false
+	m.record(InvocationResult{ExecTime: 1})
+	if len(m.Results) != 0 {
+		t.Fatal("Results retained despite KeepResults=false")
+	}
+	if m.Invocations() != 1 {
+		t.Fatal("counter should still record")
+	}
+}
+
+func TestMetricsContainerDiedGBs(t *testing.T) {
+	m := NewMetrics()
+	// 2048 MB alive for 10 s → 2 GB × 10 s = 20 GB-s.
+	m.containerDied(2048, 10)
+	if math.Abs(m.ProvisionedMemTime()-20) > 1e-9 {
+		t.Fatalf("ProvisionedMemTime = %v, want 20", m.ProvisionedMemTime())
+	}
+	if m.ContainersKilled() != 1 {
+		t.Fatalf("ContainersKilled = %d, want 1", m.ContainersKilled())
+	}
+	// Zero and negative lifetimes add no memory-time but still count the kill.
+	m.containerDied(2048, 0)
+	m.containerDied(2048, -1)
+	if math.Abs(m.ProvisionedMemTime()-20) > 1e-9 {
+		t.Fatalf("non-positive lifetime added memory-time: %v", m.ProvisionedMemTime())
+	}
+	if m.ContainersKilled() != 3 {
+		t.Fatalf("ContainersKilled = %d, want 3", m.ContainersKilled())
+	}
+}
+
+func TestMetricsColdStartRateEdges(t *testing.T) {
+	m := NewMetrics()
+	if r := m.ColdStartRate(); r != 0 {
+		t.Fatalf("empty rate = %v, want 0", r)
+	}
+	m.record(InvocationResult{ColdStart: true})
+	if r := m.ColdStartRate(); r != 1 {
+		t.Fatalf("all-cold rate = %v, want 1", r)
+	}
+	for i := 0; i < 3; i++ {
+		m.record(InvocationResult{ColdStart: false})
+	}
+	if r := m.ColdStartRate(); math.Abs(r-0.25) > 1e-12 {
+		t.Fatalf("rate = %v, want 0.25", r)
+	}
+}
+
+func TestMetricsResetPreservesKeepResults(t *testing.T) {
+	m := NewMetrics()
+	m.KeepResults = false
+	m.record(InvocationResult{ColdStart: true, ExecTime: 1, CPU: 1, MemoryMB: 512})
+	m.containerCreated()
+	m.containerDied(512, 5)
+	m.Reset()
+	if m.KeepResults {
+		t.Fatal("Reset flipped KeepResults")
+	}
+	if m.Invocations() != 0 || m.ColdStarts() != 0 || m.ContainersCreated() != 0 ||
+		m.ContainersKilled() != 0 || m.CPUTime() != 0 || m.MemTime() != 0 ||
+		m.ProvisionedMemTime() != 0 || len(m.Results) != 0 {
+		t.Fatal("Reset left residual state")
+	}
+	if m.LatencyHistogram().Count() != 0 {
+		t.Fatal("Reset left histogram observations")
+	}
+	// The registry binding survives: new records land in the same snapshot.
+	m.record(InvocationResult{ColdStart: false})
+	if m.Registry().Snapshot().Counters["faas.warm_starts"] != 1 {
+		t.Fatal("registry binding lost after Reset")
+	}
+}
+
+func TestMetricsSharedRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetricsOn(reg)
+	if m.Registry() != reg {
+		t.Fatal("Registry() should return the shared registry")
+	}
+	m.record(InvocationResult{ColdStart: true})
+	if reg.Snapshot().Counters["faas.cold_starts"] != 1 {
+		t.Fatal("record did not reach the shared registry")
+	}
+}

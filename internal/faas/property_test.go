@@ -109,7 +109,7 @@ func TestPropertyColdWarmPartition(t *testing.T) {
 		}
 		eng.RunUntil(1e6)
 		met := cl.Metrics()
-		return met.ColdStarts+met.WarmStarts == n && met.Invocations() == n
+		return met.ColdStarts()+met.WarmStarts() == n && met.Invocations() == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -134,7 +134,7 @@ func TestPropertyProvisionedMemCoversBusyTime(t *testing.T) {
 		eng.RunUntil(1e6)
 		cl.Flush()
 		met := cl.Metrics()
-		return met.ProvisionedMemTime >= met.MemTime-1e-9
+		return met.ProvisionedMemTime() >= met.MemTime()-1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)

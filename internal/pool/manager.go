@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"aquatope/internal/faas"
+	"aquatope/internal/telemetry"
 )
 
 // Manager drives pool policies against a cluster: it samples each managed
@@ -78,7 +79,9 @@ func (m *Manager) Start() {
 	}
 	var tick func()
 	tick = func() {
+		tr := m.cl.Tracer()
 		for _, e := range m.entries {
+			actual := e.watermark
 			e.history = append(e.history, e.watermark)
 			e.watermark = float64(m.cl.Demand(e.fn))
 			if eng.Now() < m.ApplyAfter {
@@ -91,6 +94,15 @@ func (m *Manager) Start() {
 			}
 			if dec.Target >= 0 {
 				_ = m.cl.SetPrewarmTarget(e.fn, dec.Target)
+			}
+			if tr.Enabled() {
+				tr.Point(telemetry.KindPoolDecision, e.fn, 0, eng.Now(), telemetry.Fields{
+					"predicted": dec.Predicted,
+					"headroom":  dec.Headroom,
+					"target":    float64(dec.Target),
+					"keepalive": dec.KeepAlive,
+					"actual":    actual,
+				})
 			}
 		}
 		eng.After(m.IntervalSec, tick)

@@ -35,6 +35,12 @@ type Decision struct {
 	Target int
 	// KeepAlive, when positive, installs this idle-container lifetime.
 	KeepAlive float64
+	// Predicted is the policy's raw demand forecast before headroom and
+	// clamping (diagnostics; zero for non-predictive policies).
+	Predicted float64
+	// Headroom is the uncertainty margin added on top of Predicted
+	// (z·std for Aquatope; zero elsewhere).
+	Headroom float64
 }
 
 // Policy sizes a function's container pool once per adjustment interval.
@@ -243,7 +249,7 @@ func (p *IceBreaker) Decide(history []float64, _ int) Decision {
 	if pred < 0 {
 		pred = 0
 	}
-	return Decision{Target: int(math.Ceil(pred)), KeepAlive: 120}
+	return Decision{Target: int(math.Ceil(pred)), KeepAlive: 120, Predicted: pred}
 }
 
 // ---------------------------------------------------------------------------
@@ -275,7 +281,7 @@ func (p *PredictorPolicy) Decide(history []float64, _ int) Decision {
 	if len(pred) > 0 {
 		t = pred[len(pred)-1]
 	}
-	return Decision{Target: int(math.Ceil(t)), KeepAlive: 120}
+	return Decision{Target: int(math.Ceil(t)), KeepAlive: 120, Predicted: t}
 }
 
 // ---------------------------------------------------------------------------
@@ -463,7 +469,7 @@ func (p *Aquatope) Decide(history []float64, minute int) Decision {
 		if len(history) > 0 {
 			t = history[len(history)-1]
 		}
-		return Decision{Target: int(math.Ceil(t)), KeepAlive: 120}
+		return Decision{Target: int(math.Ceil(t)), KeepAlive: 120, Predicted: t}
 	}
 	hist := make([][]float64, w)
 	for t := 0; t < w; t++ {
@@ -471,9 +477,10 @@ func (p *Aquatope) Decide(history []float64, minute int) Decision {
 		hist[t] = append([]float64{history[idx]}, p.featFn(minute-w+t)...)
 	}
 	ext := append(p.featFn(minute), recencyFeatures(history, len(history))...)
-	var target float64
+	var target, predicted, headroom float64
 	if p.Lite {
 		target = p.model.PredictDeterministic(hist, ext)
+		predicted = target
 	} else {
 		pred := p.model.Predict(hist, ext)
 		z := p.HeadroomZ
@@ -481,6 +488,8 @@ func (p *Aquatope) Decide(history []float64, minute int) Decision {
 			z = 1
 		}
 		target = pred.UpperBound(z)
+		predicted = pred.Mean
+		headroom = target - pred.Mean
 	}
 	// Reactive floor: never shrink below the demand just observed — a
 	// burst in progress must not have its containers reclaimed mid-flight.
@@ -505,5 +514,5 @@ func (p *Aquatope) Decide(history []float64, minute int) Decision {
 	if target < 0 {
 		target = 0
 	}
-	return Decision{Target: int(math.Ceil(target)), KeepAlive: 120}
+	return Decision{Target: int(math.Ceil(target)), KeepAlive: 120, Predicted: predicted, Headroom: headroom}
 }

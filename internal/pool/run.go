@@ -77,8 +77,9 @@ func Run(cfg RunConfig) RunResult {
 	mgr := NewManager(cl)
 
 	// At the train/test boundary: fit the policy on the observed demand
-	// series, reset metrics, and enable management.
-	var baseline faas.Metrics
+	// series, capture the metric baselines, and enable management.
+	var baseColds, baseWarms int
+	var baseProv float64
 	eng.Schedule(trainCut, func() {
 		rng := stats.NewRNG(cfg.Seed + 1)
 		meanExec := estimateServiceTime(cfg.Model, cfg.Resources, rng)
@@ -89,7 +90,10 @@ func Run(cfg RunConfig) RunResult {
 			Arrivals: train.Arrivals,
 			FeatFn:   func(i int) []float64 { return cfg.Trace.Features(i) },
 		})
-		baseline = *cl.Metrics() // snapshot; deltas measured from here
+		// Baselines: test-window deltas are measured from here.
+		baseColds = cl.Metrics().ColdStarts()
+		baseWarms = cl.Metrics().WarmStarts()
+		baseProv = cl.Metrics().ProvisionedMemTime()
 		mgr.Manage(fnName, cfg.Policy, cfg.TrainMin)
 		mgr.Start()
 	})
@@ -113,9 +117,9 @@ func Run(cfg RunConfig) RunResult {
 
 	m := cl.Metrics()
 	res := RunResult{
-		ColdStarts:        m.ColdStarts - baseline.ColdStarts,
-		WarmStarts:        m.WarmStarts - baseline.WarmStarts,
-		ProvisionedMemGBs: m.ProvisionedMemTime - baseline.ProvisionedMemTime,
+		ColdStarts:        m.ColdStarts() - baseColds,
+		WarmStarts:        m.WarmStarts() - baseWarms,
+		ProvisionedMemGBs: m.ProvisionedMemTime() - baseProv,
 		MemorySeriesGB:    memSeries,
 		DemandSeries:      mgr.History(fnName),
 	}

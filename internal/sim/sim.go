@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"aquatope/internal/telemetry"
 )
 
 // Time is a point in virtual time, in seconds since simulation start.
@@ -22,14 +24,20 @@ type Event struct {
 	seq      uint64 // tie-breaker preserving schedule order
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 when popped
+	index    int     // heap index, -1 when popped
+	eng      *Engine // owner, for live-event accounting on Cancel
 }
 
 // Cancel prevents a pending event from firing. Canceling an event that
-// already fired is a no-op.
+// already fired (or canceling twice) is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	// Still in the queue: it no longer counts as a live pending event.
+	if e.eng != nil && e.index >= 0 {
+		e.eng.live--
 	}
 }
 
@@ -74,10 +82,25 @@ type Engine struct {
 	queue  eventQueue
 	seq    uint64
 	events uint64 // total events processed, for diagnostics
+	live   int    // scheduled events that are neither canceled nor fired
+
+	// Optional telemetry instruments (nil when not instrumented).
+	evCount  *telemetry.Counter
+	clockG   *telemetry.Gauge
+	pendingG *telemetry.Gauge
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
+
+// SetMetrics registers the engine's telemetry instruments on reg: the
+// "sim.events" counter plus "sim.clock_s" and "sim.pending_events" gauges,
+// updated as events execute. A nil registry detaches them.
+func (e *Engine) SetMetrics(reg *telemetry.Registry) {
+	e.evCount = reg.Counter("sim.events")
+	e.clockG = reg.Gauge("sim.clock_s")
+	e.pendingG = reg.Gauge("sim.pending_events")
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -85,8 +108,10 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.events }
 
-// Pending returns the number of scheduled (possibly canceled) events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live scheduled events: canceled events are
+// excluded even while they still occupy the queue, so gauges built on this
+// reflect real outstanding work.
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // panics: it always indicates a logic bug in the caller.
@@ -97,9 +122,10 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if math.IsNaN(at) {
 		panic("sim: scheduling event at NaN")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	e.live++
 	return ev
 }
 
@@ -117,10 +143,14 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
-			continue
+			continue // live count already dropped at Cancel time
 		}
 		e.now = ev.at
 		e.events++
+		e.live--
+		e.evCount.Inc()
+		e.clockG.Set(e.now)
+		e.pendingG.Set(float64(e.live))
 		ev.fn()
 		return true
 	}

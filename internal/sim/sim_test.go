@@ -4,6 +4,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"aquatope/internal/telemetry"
 )
 
 func TestScheduleOrdering(t *testing.T) {
@@ -183,5 +185,57 @@ func TestNestedScheduling(t *testing.T) {
 	}
 	if e.Processed() != 100 {
 		t.Fatalf("Processed = %v", e.Processed())
+	}
+}
+
+func TestPendingExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1, func() {})
+	b := e.Schedule(2, func() {})
+	e.Schedule(3, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %v, want 3", e.Pending())
+	}
+	b.Cancel()
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after cancel = %v, want 2", e.Pending())
+	}
+	b.Cancel() // double cancel must not decrement twice
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after double cancel = %v, want 2", e.Pending())
+	}
+	if !e.Step() {
+		t.Fatal("Step should fire event a")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after step = %v, want 1", e.Pending())
+	}
+	a.Cancel() // canceling an already-fired event is a no-op
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after canceling fired event = %v, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %v, want 0", e.Pending())
+	}
+}
+
+func TestEngineMetrics(t *testing.T) {
+	e := NewEngine()
+	reg := telemetry.NewRegistry()
+	e.SetMetrics(reg)
+	for i := 1; i <= 4; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	s := reg.Snapshot()
+	if s.Counters["sim.events"] != 4 {
+		t.Fatalf("sim.events = %v, want 4", s.Counters["sim.events"])
+	}
+	if s.Gauges["sim.clock_s"] != 4 {
+		t.Fatalf("sim.clock_s = %v, want 4", s.Gauges["sim.clock_s"])
+	}
+	if s.Gauges["sim.pending_events"] != 0 {
+		t.Fatalf("sim.pending_events = %v, want 0", s.Gauges["sim.pending_events"])
 	}
 }

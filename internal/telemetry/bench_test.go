@@ -1,0 +1,58 @@
+package telemetry
+
+// Benchmarks for the disabled-telemetry hot path: every instrumented
+// subsystem calls through a Tracer interface and nil-safe registry handles
+// on each invocation, so these must stay in the nanosecond range for the
+// no-op tracer to be free in practice (the acceptance bar for wiring
+// telemetry through faas/sim hot paths).
+
+import "testing"
+
+// BenchmarkNopInvocationPath mirrors the per-invocation instrumentation in
+// faas.Cluster: one StartSpan, a zero-ID check that skips building the end
+// fields, and one EndSpan.
+func BenchmarkNopInvocationPath(b *testing.B) {
+	var tr Tracer = Nop{}
+	for i := 0; i < b.N; i++ {
+		id := tr.StartSpan(KindInvocation, "f", 0, 0)
+		if id != 0 {
+			tr.EndSpan(id, 1, Fields{"exec": 1})
+		} else {
+			tr.EndSpan(id, 1, nil)
+		}
+	}
+}
+
+// BenchmarkNilInstruments mirrors the per-event registry updates in
+// sim.Engine and faas.Metrics with telemetry disabled (nil handles).
+func BenchmarkNilInstruments(b *testing.B) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(float64(i))
+		h.Observe(float64(i))
+	}
+}
+
+// BenchmarkCollectorInvocationPath is the enabled-path cost for one
+// invocation span, for comparison against the Nop numbers.
+func BenchmarkCollectorInvocationPath(b *testing.B) {
+	c := NewCollector()
+	var tr Tracer = c
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := tr.StartSpan(KindInvocation, "f", 0, float64(i))
+		tr.EndSpan(id, float64(i)+1, Fields{"exec": 1, "cold": 0})
+	}
+}
+
+// BenchmarkHistogramObserve is the enabled-path cost of one histogram
+// observation (bucket index via one log call).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefaultBucketLo, DefaultBucketGrowth, DefaultBucketCount)
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.25)
+	}
+}

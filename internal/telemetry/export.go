@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BucketCount is one non-empty histogram bucket in a snapshot: N values
+// were observed at most LE (and above the previous bucket's LE).
+type BucketCount struct {
+	LE float64 `json:"le"`
+	N  uint64  `json:"n"`
+}
+
+// HistogramSnapshot is the exported state of one histogram. Min/Max are
+// omitted when the histogram is empty; Overflow counts observations beyond
+// the last bucket edge.
+type HistogramSnapshot struct {
+	Count    uint64        `json:"count"`
+	Sum      float64       `json:"sum"`
+	Min      float64       `json:"min,omitempty"`
+	Max      float64       `json:"max,omitempty"`
+	P50      float64       `json:"p50"`
+	P95      float64       `json:"p95"`
+	P99      float64       `json:"p99"`
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+	Overflow uint64        `json:"overflow,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON export.
+// encoding/json emits map keys sorted, so snapshots of the same state are
+// byte-identical.
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// snapshot copies the histogram state. Quantiles are computed outside the
+// lock via the public accessors.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	if h.count > 0 {
+		s.Min, s.Max = h.min, h.max
+	}
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if b == len(h.edges) {
+			s.Overflow = c
+			continue
+		}
+		s.Buckets = append(s.Buckets, BucketCount{LE: h.edges[b], N: c})
+	}
+	h.mu.Unlock()
+	s.P50 = h.Quantile(0.50)
+	s.P95 = h.Quantile(0.95)
+	s.P99 = h.Quantile(0.99)
+	return s
+}
+
+// Snapshot copies the registry's current state. A nil registry snapshots
+// empty.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]float64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteJSONFile writes the snapshot to path, creating or truncating it.
+func (r *Registry) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

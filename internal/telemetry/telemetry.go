@@ -1,0 +1,103 @@
+// Package telemetry is the observability layer of the reproduction: a span
+// tracer recording one span per function invocation and one parent span per
+// workflow DAG execution (plus point events for pool-sizing decisions, BO
+// iterations and container lifecycle), and a metric registry of counters,
+// gauges and fixed-bucket streaming histograms.
+//
+// The paper's whole evaluation (§8) is built on observations the platform
+// emits — per-stage cold/warm starts, tail latency distributions, pool-size
+// decisions over time, BO convergence — and this package is where those
+// observations are collected and exported (JSONL span streams, JSON metric
+// snapshots; see DESIGN.md §6).
+//
+// Instrumented subsystems hold a Tracer and call it on their hot paths; the
+// Nop tracer makes those calls free when telemetry is disabled, and all
+// registry handles are nil-safe so a disabled registry costs a single branch
+// per update. Everything is deterministic: span IDs are assigned in call
+// order, and exports emit spans and metric names in sorted, stable order, so
+// two runs with the same seed produce byte-identical output.
+package telemetry
+
+// SpanID identifies a recorded span. The zero ID means "no span": the Nop
+// tracer returns it, and instrumented code can skip building end-of-span
+// fields when it sees it.
+type SpanID uint64
+
+// Fields carries numeric span attributes. Encoding/json emits map keys in
+// sorted order, so field maps do not threaten determinism.
+type Fields map[string]float64
+
+// Span kinds emitted by the instrumented subsystems.
+const (
+	// KindWorkflow is the parent span of one workflow DAG execution.
+	KindWorkflow = "workflow"
+	// KindStage is one stage of a workflow DAG (child of a workflow span).
+	KindStage = "stage"
+	// KindInvocation is one function invocation: queue wait + cold-start
+	// setup + execution (child of a stage span when issued by a workflow).
+	KindInvocation = "invocation"
+	// KindContainerCreate marks a container being provisioned.
+	KindContainerCreate = "container.create"
+	// KindContainerKill marks a container being evicted or expiring.
+	KindContainerKill = "container.kill"
+	// KindPoolDecision is one per-interval pool-sizing decision.
+	KindPoolDecision = "pool.decision"
+	// KindBOIteration is one Bayesian-optimization observe/refit round.
+	KindBOIteration = "bo.iteration"
+)
+
+// Span is one recorded interval (or point event, when Start == End).
+type Span struct {
+	ID     SpanID  `json:"id"`
+	Parent SpanID  `json:"parent,omitempty"`
+	Kind   string  `json:"kind"`
+	Name   string  `json:"name,omitempty"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Fields Fields  `json:"fields,omitempty"`
+}
+
+// Duration returns the span's length in simulated seconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Tracer receives telemetry callbacks from instrumented subsystems. All
+// times are simulation seconds except where a subsystem has no clock (the
+// BO engine uses its iteration index).
+type Tracer interface {
+	// Enabled reports whether spans are being recorded. Hot paths use it
+	// to skip building Fields maps when tracing is off.
+	Enabled() bool
+	// StartSpan opens a span; parent 0 makes it a root.
+	StartSpan(kind, name string, parent SpanID, at float64) SpanID
+	// EndSpan closes a span, attaching fields (may be nil). Ending an
+	// unknown or zero ID is a no-op.
+	EndSpan(id SpanID, at float64, fields Fields)
+	// Point records an instantaneous event.
+	Point(kind, name string, parent SpanID, at float64, fields Fields)
+}
+
+// Nop is the default tracer: every call is a no-op and StartSpan returns
+// the zero SpanID, so instrumented hot paths cost one interface call when
+// tracing is disabled (benchmarked in bench_test.go).
+type Nop struct{}
+
+// Enabled implements Tracer.
+func (Nop) Enabled() bool { return false }
+
+// StartSpan implements Tracer.
+func (Nop) StartSpan(string, string, SpanID, float64) SpanID { return 0 }
+
+// EndSpan implements Tracer.
+func (Nop) EndSpan(SpanID, float64, Fields) {}
+
+// Point implements Tracer.
+func (Nop) Point(string, string, SpanID, float64, Fields) {}
+
+// OrNop returns t, or the Nop tracer when t is nil, so subsystems can store
+// the result and call it unconditionally.
+func OrNop(t Tracer) Tracer {
+	if t == nil {
+		return Nop{}
+	}
+	return t
+}

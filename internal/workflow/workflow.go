@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"aquatope/internal/faas"
+	"aquatope/internal/telemetry"
 )
 
 // Stage is one node of a workflow DAG.
@@ -167,22 +168,25 @@ type Result struct {
 // Latency returns the end-to-end latency.
 func (r Result) Latency() float64 { return r.EndTime - r.SubmitTime }
 
-// CPUTime returns total CPU-seconds across all stage invocations.
+// CPUTime returns total CPU-seconds across all stage invocations. Stages
+// are summed in sorted-name order so the float result is identical across
+// same-seed runs (map iteration order would perturb the last ULP).
 func (r Result) CPUTime() float64 {
 	var s float64
-	for _, rs := range r.PerStage {
-		for _, ir := range rs {
+	for _, name := range r.StageNames() {
+		for _, ir := range r.PerStage[name] {
 			s += ir.CostCPUTime()
 		}
 	}
 	return s
 }
 
-// MemTime returns total GB-seconds across all stage invocations.
+// MemTime returns total GB-seconds across all stage invocations, in the
+// same deterministic stage order as CPUTime.
 func (r Result) MemTime() float64 {
 	var s float64
-	for _, rs := range r.PerStage {
-		for _, ir := range rs {
+	for _, name := range r.StageNames() {
+		for _, ir := range r.PerStage[name] {
 			s += ir.CostMemTime()
 		}
 	}
@@ -213,12 +217,20 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 		SubmitTime: e.Cluster.Engine().Now(),
 		PerStage:   make(map[string][]faas.InvocationResult, n),
 	}
+	tr := e.Cluster.Tracer()
+	var wfSpan telemetry.SpanID
+	stageSpans := make([]telemetry.SpanID, n)
 	remainingDeps := make([]int, n)
 	pendingInv := make([]int, n) // outstanding invocations per running stage
 	stagesLeft := n
 	var launch func(i int)
 	finishStage := func(i int) {
 		stagesLeft--
+		if stageSpans[i] != 0 {
+			tr.EndSpan(stageSpans[i], e.Cluster.Engine().Now(), telemetry.Fields{
+				"invocations": float64(len(res.PerStage[d.stages[i].Name])),
+			})
+		}
 		for _, ch := range d.children[i] {
 			remainingDeps[ch]--
 			if remainingDeps[ch] == 0 {
@@ -227,6 +239,12 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 		}
 		if stagesLeft == 0 {
 			res.EndTime = e.Cluster.Engine().Now()
+			if wfSpan != 0 {
+				tr.EndSpan(wfSpan, res.EndTime, telemetry.Fields{
+					"invocations": float64(res.Invocations),
+					"cold_starts": float64(res.ColdStarts),
+				})
+			}
 			if done != nil {
 				done(*res)
 			}
@@ -241,8 +259,9 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 			}
 		}
 		pendingInv[i] = w
+		stageSpans[i] = tr.StartSpan(telemetry.KindStage, st.Name, wfSpan, e.Cluster.Engine().Now())
 		for k := 0; k < w; k++ {
-			err := e.Cluster.Invoke(st.Function, inputSize*st.inputScale(), func(r faas.InvocationResult) {
+			err := e.Cluster.InvokeSpan(st.Function, inputSize*st.inputScale(), stageSpans[i], func(r faas.InvocationResult) {
 				res.PerStage[st.Name] = append(res.PerStage[st.Name], r)
 				res.Invocations++
 				if r.ColdStart {
@@ -271,6 +290,7 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 	for i, s := range d.stages {
 		remainingDeps[i] = len(s.Deps)
 	}
+	wfSpan = tr.StartSpan(telemetry.KindWorkflow, d.Name, 0, res.SubmitTime)
 	for i, s := range d.stages {
 		if len(s.Deps) == 0 {
 			launch(i)
