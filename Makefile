@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: verify build vet test bench
+.PHONY: verify build vet fmtcheck test bench
 
-# Tier-1 gate: build everything, vet, and run the full test suite with the
-# race detector. CI and pre-commit both run this target.
-verify: build vet
-	$(GO) test -race ./...
+# Tier-1 gate: build everything, vet, check formatting, and run the full
+# test suite with the race detector. CI and pre-commit both run this target.
+# The race detector is ~10x slower than a plain run and the experiment
+# harnesses are end-to-end simulations, so the suite needs more than go
+# test's default 10-minute budget on small machines.
+verify: build vet fmtcheck
+	$(GO) test -race -timeout 30m ./...
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

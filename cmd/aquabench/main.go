@@ -23,7 +23,7 @@ import (
 var experimentOrder = []string{
 	"table1", "fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14a", "fig14b", "fig15", "fig16", "fig17", "fig18",
-	"ablation-batch", "ablation-headroom", "ablation-mc",
+	"ablation-batch", "ablation-headroom", "ablation-mc", "chaos",
 }
 
 func main() {
@@ -67,6 +67,7 @@ func main() {
 		"ablation-batch":    func() string { return experiments.AblationBatchSize(scale).Table() },
 		"ablation-headroom": func() string { return experiments.AblationHeadroom(scale).Table() },
 		"ablation-mc":       func() string { return experiments.AblationMCSamples(scale).Table() },
+		"chaos":             func() string { return experiments.Chaos(scale).Table() },
 	}
 
 	titles := map[string]string{

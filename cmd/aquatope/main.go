@@ -15,12 +15,14 @@ import (
 	"os"
 
 	"aquatope/internal/apps"
+	"aquatope/internal/chaos"
 	"aquatope/internal/core"
 	"aquatope/internal/faas"
 	"aquatope/internal/pool"
 	"aquatope/internal/socialgraph"
 	"aquatope/internal/telemetry"
 	"aquatope/internal/trace"
+	"aquatope/internal/workflow"
 )
 
 func buildApp(name string, seed int64) *apps.App {
@@ -50,6 +52,7 @@ func main() {
 	trainMin := flag.Int("train", 1440, "training prefix in minutes")
 	budget := flag.Int("budget", 30, "resource-search profiling budget")
 	seed := flag.Int64("seed", 1, "random seed")
+	chaosName := flag.String("chaos", "", "fault scenario: invoker-crash | container-churn | stragglers | mixed | random (enables the retry/timeout resilience layer)")
 	traceOut := flag.String("trace-out", "", "write telemetry spans as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metric registry snapshot as JSON to this file")
 	flag.Parse()
@@ -78,6 +81,20 @@ func main() {
 		ProfileNoise: faas.Noise{GaussianStd: 0.15, OutlierRate: 0.02, OutlierScale: 3},
 		RuntimeNoise: faas.Noise{GaussianStd: 0.1, OutlierRate: 0.01, OutlierScale: 3},
 		Seed:         *seed,
+	}
+	if *chaosName != "" {
+		scn, ok := chaos.Builtin(*chaosName, float64(*minutes)*60, *seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (have: %v)\n", *chaosName, chaos.Names())
+			os.Exit(2)
+		}
+		cfg.Chaos = scn
+		// Fault injection without retries just loses workflows; pair the
+		// scenario with the default resilience policy, bounding each
+		// attempt by the app's QoS target.
+		pol := workflow.DefaultRetryPolicy()
+		pol.Timeout = app.QoS
+		cfg.Resilience = &pol
 	}
 	var collector *telemetry.Collector
 	if *traceOut != "" {
@@ -116,6 +133,12 @@ func main() {
 	ar := res.PerApp[app.Name]
 	fmt.Printf("\nworkflows completed:   %d\n", ar.Workflows)
 	fmt.Printf("QoS (%.2fs) violations: %.1f%%\n", app.QoS, ar.ViolationRate()*100)
+	if *chaosName != "" {
+		fmt.Printf("  latency violations:  %d\n", ar.LatencyViolations)
+		fmt.Printf("  failure violations:  %d\n", ar.FailureViolations)
+		fmt.Printf("goodput:               %.1f%%\n", res.Goodput()*100)
+		fmt.Printf("retries / hedges:      %d / %d\n", ar.Retries, ar.Hedges)
+	}
 	fmt.Printf("cold-start rate:       %.1f%%\n", res.ColdStartRate()*100)
 	fmt.Printf("mean latency:          %.2fs\n", ar.MeanLatency)
 	fmt.Printf("latency p50/p95/p99:   %.2fs / %.2fs / %.2fs\n", ar.P50, ar.P95, ar.P99)

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"aquatope/internal/faas"
+	"aquatope/internal/sim"
+	"aquatope/internal/telemetry"
+	"aquatope/internal/workflow"
+)
+
+// runScenario executes a small workflow stream under a chaos scenario and
+// returns the full span dump plus completion bookkeeping.
+func runScenario(t *testing.T, seed int64) (jsonl []byte, submitted, completed, failed int, pending int) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := faas.NewCluster(eng, faas.Config{Invokers: 4, CPUPerInvoker: 8, MemoryPerInvokerMB: 8192, Seed: seed})
+	col := telemetry.NewCollector()
+	cl.SetTracer(col)
+	m := faas.DefaultSyntheticModel()
+	m.BaseExecSec = 1
+	m.ColdInitSec = 0.5
+	if err := cl.RegisterFunction(faas.FunctionSpec{Name: "f", Model: m}, faas.ResourceConfig{CPU: 1, MemoryMB: 512}); err != nil {
+		t.Fatal(err)
+	}
+	pol := workflow.DefaultRetryPolicy()
+	pol.Timeout = 30
+	ex := workflow.NewExecutor(cl)
+	ex.Policy = &pol
+	ex.Seed = seed
+	scn := Random(120, 4, 2, seed)
+	New(cl, scn).Arm()
+	d := workflow.Chain("c", "f", "f", "f")
+	for i := 0; i < 40; i++ {
+		at := float64(i) * 3
+		eng.Schedule(at, func() {
+			submitted++
+			if err := ex.Execute(d, 1, nil, func(r workflow.Result) {
+				completed++
+				if r.Failed {
+					failed++
+				}
+			}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	eng.Run()
+	cl.Flush()
+	var buf bytes.Buffer
+	if err := col.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), submitted, completed, failed, eng.Pending()
+}
+
+// TestSameSeedByteIdenticalSpans: two same-seed chaos runs produce
+// byte-identical span JSONL dumps — the subsystem's core determinism
+// guarantee.
+func TestSameSeedByteIdenticalSpans(t *testing.T) {
+	a, _, _, _, _ := runScenario(t, 42)
+	b, _, _, _, _ := runScenario(t, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed span dumps differ (%d vs %d bytes)", len(a), len(b))
+	}
+	c, _, _, _, _ := runScenario(t, 43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical dumps — scenario not seeded")
+	}
+}
+
+// TestNoStuckWorkflowsUnderChaos: every submitted workflow terminates (the
+// resilience layer turns faults into retries or fail-fast skips, never
+// hangs) and the engine fully drains.
+func TestNoStuckWorkflowsUnderChaos(t *testing.T) {
+	dump, submitted, completed, failed, pending := runScenario(t, 7)
+	if submitted == 0 || completed != submitted {
+		t.Fatalf("completed %d of %d workflows", completed, submitted)
+	}
+	if pending != 0 {
+		t.Fatalf("%d events stuck in the engine", pending)
+	}
+	spans, err := telemetry.ReadJSONL(bytes.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	for _, s := range spans {
+		kinds[s.Kind]++
+	}
+	if kinds[telemetry.KindChaosFault] == 0 {
+		t.Fatal("no chaos.fault spans emitted")
+	}
+	if kinds[telemetry.KindRetry] == 0 {
+		t.Fatal("no invocation.retry spans emitted")
+	}
+	t.Logf("submitted=%d failed=%d chaos.fault=%d retries=%d",
+		submitted, failed, kinds[telemetry.KindChaosFault], kinds[telemetry.KindRetry])
+}
+
+// TestBuiltinScenarios: every advertised name resolves, scales to the
+// horizon, and unknown names are rejected.
+func TestBuiltinScenarios(t *testing.T) {
+	for _, name := range Names() {
+		scn, ok := Builtin(name, 600, 1)
+		if !ok {
+			t.Fatalf("builtin %q not found", name)
+		}
+		if scn.Empty() {
+			t.Fatalf("builtin %q is empty", name)
+		}
+		for _, f := range scn.Faults {
+			if f.At < 0 || f.At > 600 {
+				t.Fatalf("builtin %q fault at %v outside horizon", name, f.At)
+			}
+		}
+	}
+	if _, ok := Builtin("nope", 600, 1); ok {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"aquatope/internal/apps"
 	"aquatope/internal/bo"
+	"aquatope/internal/chaos"
 	"aquatope/internal/faas"
 	"aquatope/internal/loadgen"
 	"aquatope/internal/pool"
@@ -72,18 +73,37 @@ type Config struct {
 	// nil a private registry is created (latency percentiles are always
 	// computed from it).
 	Registry *telemetry.Registry
-	Seed     int64
+	// Chaos is an optional fault scenario armed on the live cluster (an
+	// empty scenario injects nothing).
+	Chaos chaos.Scenario
+	// Resilience enables the workflow retry/timeout/hedging layer for the
+	// live run (nil = fire-once).
+	Resilience *workflow.RetryPolicy
+	Seed       int64
 }
 
 // AppResult reports one application's test-window outcome.
 type AppResult struct {
 	Workflows     int
 	QoSViolations int
-	ColdStarts    int
-	Invocations   int
-	CPUTime       float64
-	MemTime       float64
-	MeanLatency   float64
+	// LatencyViolations and FailureViolations attribute QoSViolations: a
+	// workflow that lost its output to an unrecovered fault violates QoS
+	// regardless of how fast it failed, and is counted separately from one
+	// that completed but missed its latency target.
+	LatencyViolations int
+	FailureViolations int
+	// FailedWorkflows counts workflows with at least one terminally failed
+	// stage instance (equals FailureViolations; kept for readability).
+	FailedWorkflows int
+	// Retries and Hedges count resilience-layer re-issued and hedged
+	// attempts over the test window.
+	Retries     int
+	Hedges      int
+	ColdStarts  int
+	Invocations int
+	CPUTime     float64
+	MemTime     float64
+	MeanLatency float64
 	// P50/P95/P99 are end-to-end workflow latency percentiles over the
 	// test window, from the app's telemetry histogram.
 	P50, P95, P99 float64
@@ -126,6 +146,43 @@ func (r Result) QoSViolationRate() float64 {
 		return 0
 	}
 	return float64(v) / float64(n)
+}
+
+// FailedWorkflows returns the total workflows lost to unrecovered faults.
+func (r Result) FailedWorkflows() int {
+	n := 0
+	for _, a := range r.PerApp {
+		n += a.FailedWorkflows
+	}
+	return n
+}
+
+// Retries returns total resilience-layer retries across apps.
+func (r Result) Retries() int {
+	n := 0
+	for _, a := range r.PerApp {
+		n += a.Retries
+	}
+	return n
+}
+
+// Hedges returns total hedged attempts across apps.
+func (r Result) Hedges() int {
+	n := 0
+	for _, a := range r.PerApp {
+		n += a.Hedges
+	}
+	return n
+}
+
+// Goodput returns the fraction of workflows that completed successfully
+// (whatever their latency) — the chaos experiments' recovery metric.
+func (r Result) Goodput() float64 {
+	n := r.Workflows()
+	if n == 0 {
+		return 0
+	}
+	return float64(n-r.FailedWorkflows()) / float64(n)
 }
 
 // ColdStartRate returns the aggregate cold-start fraction.
@@ -236,6 +293,11 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	ex := workflow.NewExecutor(cl)
+	ex.Policy = cfg.Resilience
+	ex.Seed = cfg.Seed + 7919
+	if !cfg.Chaos.Empty() {
+		chaos.New(cl, cfg.Chaos).Arm()
+	}
 
 	// Schedule workflow arrivals for every component over the full trace.
 	trainCut := float64(cfg.TrainMin) * 60
@@ -263,15 +325,28 @@ func Run(cfg Config) (Result, error) {
 					return
 				}
 				st.res.Workflows++
-				if r.Latency() > st.qos {
+				if r.Failed {
+					// A faulted workflow has no output: it violates QoS
+					// no matter how quickly it gave up.
 					st.res.QoSViolations++
+					st.res.FailureViolations++
+					st.res.FailedWorkflows++
+				} else if r.Latency() > st.qos {
+					st.res.QoSViolations++
+					st.res.LatencyViolations++
 				}
+				st.res.Retries += r.Retries
+				st.res.Hedges += r.Hedges
 				st.res.ColdStarts += r.ColdStarts
 				st.res.Invocations += r.Invocations
 				st.res.CPUTime += r.CPUTime()
 				st.res.MemTime += r.MemTime()
-				st.lats = append(st.lats, r.Latency())
-				st.hist.Observe(r.Latency())
+				if !r.Failed {
+					// Failed workflows abort early; their "latency" is
+					// time-to-failure and would skew the percentiles.
+					st.lats = append(st.lats, r.Latency())
+					st.hist.Observe(r.Latency())
+				}
 			},
 		}
 		driver.Start()

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/chaos"
+	"aquatope/internal/core"
+	"aquatope/internal/faas"
+	"aquatope/internal/trace"
+	"aquatope/internal/workflow"
+)
+
+// ChaosResult is the resilience sweep: fault rate × retry policy, reporting
+// how much of the fault-induced QoS damage each policy recovers and what
+// the recovery costs.
+type ChaosResult struct {
+	Rates    []float64
+	Policies []string
+	// Cell metrics are keyed "rate|policy".
+	Violation map[string]float64
+	Goodput   map[string]float64
+	Cost      map[string]float64
+	Retries   map[string]int
+	Hedges    map[string]int
+}
+
+func chaosKey(rate float64, policy string) string {
+	return fmt.Sprintf("%.3f|%s", rate, policy)
+}
+
+// Table renders one row per (fault rate, policy) cell.
+func (r ChaosResult) Table() string {
+	var rows [][]string
+	base := make(map[float64]float64)
+	for _, rate := range r.Rates {
+		base[rate] = r.Violation[chaosKey(rate, r.Policies[0])]
+	}
+	for _, rate := range r.Rates {
+		for _, p := range r.Policies {
+			k := chaosKey(rate, p)
+			recovered := "-"
+			if p != r.Policies[0] && base[rate] > 0 {
+				recovered = pct((base[rate] - r.Violation[k]) / base[rate])
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f%%", rate*100),
+				p,
+				pct(r.Violation[k]),
+				recovered,
+				pct(r.Goodput[k]),
+				fmt.Sprintf("%d", r.Retries[k]),
+				fmt.Sprintf("%d", r.Hedges[k]),
+				f0(r.Cost[k]),
+			})
+		}
+	}
+	return formatTable(
+		[]string{"FaultRate", "Policy", "QoSViol", "Recovered", "Goodput", "Retries", "Hedges", "Cost"},
+		rows)
+}
+
+// Chaos sweeps injected fault rate × retry policy on one application under
+// the provider keep-alive pool (no resource search — the sweep isolates the
+// resilience layer). Each cell runs the same seeded scenario: a fault-rates
+// window (init failures + mid-execution kills) covering most of the run
+// plus one invoker crash in the test window.
+func Chaos(s Scale) ChaosResult {
+	res := ChaosResult{
+		Rates:     []float64{0.0, 0.02, 0.05, 0.10},
+		Policies:  []string{"none", "retry", "retry+hedge"},
+		Violation: make(map[string]float64),
+		Goodput:   make(map[string]float64),
+		Cost:      make(map[string]float64),
+		Retries:   make(map[string]int),
+		Hedges:    make(map[string]int),
+	}
+	app := apps.NewMLPipeline()
+	// Install adequate per-function configurations up front (the sweep runs
+	// no resource search): enough memory to clear each stage's knee and
+	// headroom CPU, so the warm path comfortably meets QoS and violations
+	// measure fault damage, not misconfiguration.
+	app.Defaults = map[string]faas.ResourceConfig{
+		"ml-imgproc":   {CPU: 1, MemoryMB: 256},
+		"ml-objdetect": {CPU: 2, MemoryMB: 2048},
+		"ml-vehicle":   {CPU: 2, MemoryMB: 1024},
+		"ml-human":     {CPU: 2, MemoryMB: 1024},
+	}
+	// A dense diurnal trace keeps the keep-alive pool warm, so baseline QoS
+	// violations reflect the injected faults rather than cold starts.
+	tr := trace.Synthesize(trace.GenConfig{
+		DurationMin:          s.TraceMin,
+		MeanRatePerMin:       0.8,
+		Diurnal:              0.6,
+		CV:                   2,
+		BurstEpisodesPerHour: 1,
+		BurstDurationMin:     10,
+		BurstMultiplier:      6,
+		Seed:                 s.Seed + 77,
+	})
+	horizon := float64(s.TraceMin) * 60
+	for _, rate := range res.Rates {
+		scn := chaos.Scenario{Name: fmt.Sprintf("sweep-%.2f", rate), Faults: []chaos.Fault{
+			{Kind: chaos.KindFaultRates, At: 0.05 * horizon, Duration: 0.90 * horizon,
+				Rates: faas.FaultRates{InitFailure: rate, ExecKill: rate}},
+			{Kind: chaos.KindInvokerCrash, Invoker: 1,
+				At:       float64(s.TrainMin)*60 + 0.25*(horizon-float64(s.TrainMin)*60),
+				Duration: 0.10 * horizon},
+		}}
+		for _, polName := range res.Policies {
+			var pol *workflow.RetryPolicy
+			switch polName {
+			// The per-attempt timeout stays well above the QoS: a timeout
+			// kills the attempt's container (wedged executions do not come
+			// back), so an aggressive deadline near the burst-time latency
+			// destroys warm capacity and collapses the cluster. In-deadline
+			// recovery of slow attempts comes from the hedge instead, which
+			// races a duplicate without killing anything.
+			case "retry":
+				p := workflow.DefaultRetryPolicy()
+				p.Timeout = 2 * app.QoS
+				pol = &p
+			case "retry+hedge":
+				p := workflow.DefaultRetryPolicy()
+				p.Timeout = 2 * app.QoS
+				p.HedgeDelay = app.QoS / 2
+				p.MaxAttempts = 4
+				pol = &p
+			}
+			out, err := core.Run(core.Config{
+				Components:   []core.Component{{App: app, Trace: tr}},
+				TrainMin:     s.TrainMin,
+				PoolFactory:  core.KeepAlivePoolFactory(600),
+				RuntimeNoise: runtimeNoise,
+				Chaos:        scn,
+				Resilience:   pol,
+				Seed:         s.Seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			k := chaosKey(rate, polName)
+			res.Violation[k] = out.QoSViolationRate()
+			res.Goodput[k] = out.Goodput()
+			res.Cost[k] = out.CPUTime() + out.MemTime()
+			res.Retries[k] = out.Retries()
+			res.Hedges[k] = out.Hedges()
+		}
+	}
+	return res
+}

@@ -49,10 +49,19 @@ type Invoker struct {
 	containers map[*container]struct{}
 	memUsedMB  float64
 	cpuBusy    float64
+	// down marks a crashed invoker: it hosts no containers and the
+	// controller routes around it until recovery.
+	down bool
+	// straggle is a multiplicative execution slowdown (chaos straggler
+	// episodes); values <= 1 mean healthy.
+	straggle float64
 }
 
 // MemoryInUseMB returns the memory currently claimed by containers.
 func (iv *Invoker) MemoryInUseMB() float64 { return iv.memUsedMB }
+
+// Down reports whether the invoker is currently crashed.
+func (iv *Invoker) Down() bool { return iv.down }
 
 // function is the cluster-side state of a registered function.
 type function struct {
@@ -80,6 +89,19 @@ type pendingInvocation struct {
 	done      func(InvocationResult)
 	// span is the invocation's telemetry span (0 when tracing is off).
 	span telemetry.SpanID
+	// attempt tags results and spans with the caller's retry attempt.
+	attempt int
+	// timeoutEv is the armed submission deadline (nil without a timeout).
+	timeoutEv *sim.Event
+	// ct is the container the invocation is reserved on or running in
+	// (nil while queued).
+	ct *container
+	// startTime and cold are valid once execution began.
+	startTime float64
+	cold      bool
+	// settled marks a delivered terminal result; late container events
+	// (a reserved container finishing init after a timeout) check it.
+	settled bool
 }
 
 // Config configures a Cluster.
@@ -128,18 +150,26 @@ type Cluster struct {
 	metrics  *Metrics
 	tracer   telemetry.Tracer
 	draining bool // reentrancy guard for queue draining
+
+	// faults are the active probabilistic fault rates (normally zero);
+	// faultRNG is a dedicated stream so enabling them mid-run never
+	// perturbs the noise/performance draws of a same-seed run.
+	faults        FaultRates
+	faultRNG      *stats.RNG
+	onInvokerDown []func(invoker int)
 }
 
 // NewCluster builds a cluster on the given simulation engine.
 func NewCluster(eng *sim.Engine, cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{
-		cfg:     cfg,
-		eng:     eng,
-		rng:     stats.NewRNG(cfg.Seed),
-		fns:     make(map[string]*function),
-		metrics: NewMetricsOn(cfg.Registry),
-		tracer:  telemetry.Nop{},
+		cfg:      cfg,
+		eng:      eng,
+		rng:      stats.NewRNG(cfg.Seed),
+		faultRNG: stats.NewRNG(cfg.Seed ^ 0x5eed_c4a0_5),
+		fns:      make(map[string]*function),
+		metrics:  NewMetricsOn(cfg.Registry),
+		tracer:   telemetry.Nop{},
 	}
 	for i := 0; i < cfg.Invokers; i++ {
 		c.invokers = append(c.invokers, &Invoker{
@@ -288,7 +318,7 @@ func (c *Cluster) lruIdle(fn *function) *container {
 
 // Invoke submits an invocation; done is called on completion (may be nil).
 func (c *Cluster) Invoke(name string, inputSize float64, done func(InvocationResult)) error {
-	return c.InvokeSpan(name, inputSize, 0, done)
+	return c.InvokeOpts(name, InvokeOptions{InputSize: inputSize}, done)
 }
 
 // InvokeSpan is Invoke with an explicit parent telemetry span, linking the
@@ -296,12 +326,27 @@ func (c *Cluster) Invoke(name string, inputSize float64, done func(InvocationRes
 // it. The span opens at submission, so its duration covers queue wait and
 // cold-start setup as well as execution.
 func (c *Cluster) InvokeSpan(name string, inputSize float64, parent telemetry.SpanID, done func(InvocationResult)) error {
+	return c.InvokeOpts(name, InvokeOptions{InputSize: inputSize, Parent: parent}, done)
+}
+
+// InvokeOpts submits an invocation with full options (parent span, deadline,
+// attempt tag). done always receives exactly one terminal result — success,
+// failure, or timeout.
+func (c *Cluster) InvokeOpts(name string, opts InvokeOptions, done func(InvocationResult)) error {
 	fn, ok := c.fns[name]
 	if !ok {
 		return fmt.Errorf("faas: unknown function %q", name)
 	}
-	p := &pendingInvocation{inputSize: inputSize, submitAt: c.eng.Now(), done: done}
-	p.span = c.tracer.StartSpan(telemetry.KindInvocation, name, parent, p.submitAt)
+	p := &pendingInvocation{
+		inputSize: opts.InputSize,
+		submitAt:  c.eng.Now(),
+		done:      done,
+		attempt:   opts.Attempt,
+	}
+	p.span = c.tracer.StartSpan(telemetry.KindInvocation, name, opts.Parent, p.submitAt)
+	if opts.Timeout > 0 {
+		p.timeoutEv = c.eng.After(opts.Timeout, func() { c.timeoutPending(fn, p) })
+	}
 	c.dispatch(fn, p)
 	return nil
 }
@@ -326,6 +371,7 @@ func (c *Cluster) dispatch(fn *function, p *pendingInvocation) {
 		ct := fn.warming[len(fn.warming)-1]
 		fn.warming = fn.warming[:len(fn.warming)-1]
 		fn.inFlight++
+		p.ct = ct
 		wait := ct.warmAt - c.eng.Now()
 		if wait < 0 {
 			wait = 0
@@ -343,6 +389,7 @@ func (c *Cluster) dispatch(fn *function, p *pendingInvocation) {
 	// Reserve it immediately.
 	fn.warming = fn.warming[:len(fn.warming)-1]
 	fn.inFlight++
+	p.ct = ct
 	wait := ct.warmAt - c.eng.Now()
 	c.eng.After(wait, func() { c.runOn(ct, p, true) })
 }
@@ -370,6 +417,9 @@ func (c *Cluster) spawnContainer(fn *function, prewarmed bool) *container {
 	}
 	init := fn.spec.Model.InitTime(ct.cfg, c.rng)
 	ct.warmAt = c.eng.Now() + init
+	if c.faults.InitFailure > 0 && c.faultRNG.Bernoulli(c.faults.InitFailure) {
+		ct.initFailed = true
+	}
 	iv.containers[ct] = struct{}{}
 	iv.memUsedMB += ct.cfg.MemoryMB
 	fn.warming = append(fn.warming, ct)
@@ -395,6 +445,12 @@ func (c *Cluster) spawnContainer(fn *function, prewarmed bool) *container {
 		// are driven by their waiter.
 		for i, w := range ct.fn.warming {
 			if w == ct {
+				if ct.initFailed {
+					// Initialization failed: the container dies on
+					// the spot instead of going idle.
+					c.faultKillContainer(ct, "init-failure")
+					return
+				}
 				ct.state = stateIdle
 				ct.fn.warming = append(ct.fn.warming[:i], ct.fn.warming[i+1:]...)
 				ct.fn.idle = append(ct.fn.idle, ct)
@@ -409,10 +465,14 @@ func (c *Cluster) spawnContainer(fn *function, prewarmed bool) *container {
 }
 
 // pickInvoker returns the invoker with the most free memory that fits memMB.
+// Crashed invokers are routed around until they recover.
 func (c *Cluster) pickInvoker(memMB float64) *Invoker {
 	var best *Invoker
 	var bestFree float64
 	for _, iv := range c.invokers {
+		if iv.down {
+			continue
+		}
 		free := iv.MemoryCapacityMB - iv.memUsedMB
 		if free >= memMB && (best == nil || free > bestFree) {
 			best = iv
@@ -443,13 +503,45 @@ func (c *Cluster) evictOneIdle() bool {
 
 // runOn executes a pending invocation on a container.
 func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool) {
-	if ct.state == stateDead {
-		// Container was killed while the waiter slept; retry dispatch.
-		ct.fn.inFlight--
-		c.dispatch(ct.fn, p)
+	fn := ct.fn
+	if p.settled {
+		// The invocation timed out while reserved here. A healthy
+		// initialized container joins the idle pool instead of dying.
+		if ct.state == stateWarming {
+			if ct.initFailed {
+				c.faultKillContainer(ct, "init-failure")
+			} else {
+				ct.state = stateIdle
+				ct.lastUsed = c.eng.Now()
+				fn.idle = append(fn.idle, ct)
+				c.armIdleTimer(ct)
+				c.drainAllQueues()
+			}
+		}
 		return
 	}
-	fn := ct.fn
+	if ct.state == stateDead {
+		fn.inFlight--
+		if ct.faultKilled {
+			// The reserved container was lost to a fault: surface the
+			// failure to the caller (the resilience layer may retry).
+			c.failPending(fn, p, OutcomeFailed, ct.faultReason, ct)
+			c.drainAllQueues()
+		} else {
+			// Benign keep-alive race: the container was reclaimed while
+			// the waiter slept; re-dispatch.
+			c.dispatch(fn, p)
+		}
+		return
+	}
+	if ct.state == stateWarming && ct.initFailed {
+		// Reserved container whose initialization failed at warm-up.
+		fn.inFlight--
+		c.faultKillContainer(ct, "init-failure")
+		c.failPending(fn, p, OutcomeFailed, "init-failure", ct)
+		c.drainAllQueues()
+		return
+	}
 	if ct.idleTimer != nil {
 		ct.idleTimer.Cancel()
 		ct.idleTimer = nil
@@ -458,8 +550,11 @@ func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool
 	fn.busyN++
 	cold := coldExperience || !ct.everUsed && !warmedAhead(ct, c.eng.Now())
 	ct.everUsed = true
+	p.ct = ct
+	p.cold = cold
 
 	start := c.eng.Now()
+	p.startTime = start
 	exec := fn.spec.Model.ExecTime(ct.cfg, cold, p.inputSize, c.rng)
 	// CPU contention: when the invoker's aggregate demand exceeds its
 	// capacity, running containers slow down proportionally.
@@ -469,8 +564,25 @@ func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool
 		exec *= iv.cpuBusy / iv.CPUCapacity
 	}
 	exec = c.cfg.Noise.apply(exec, c.rng)
+	if iv.straggle > 1 {
+		// Straggler episode: everything on this invoker runs slow.
+		exec *= iv.straggle
+	}
+	// Fault model: the hosting container may be killed mid-execution
+	// (OOM-style), failing the invocation partway through.
+	if c.faults.ExecKill > 0 && c.faultRNG.Bernoulli(c.faults.ExecKill) {
+		killAt := exec * c.faultRNG.Float64()
+		ct.running = p
+		ct.execTimer = c.eng.After(killAt, func() {
+			c.abortRun(ct, p, OutcomeFailed, "container-kill")
+		})
+		return
+	}
 
-	c.eng.After(exec, func() {
+	ct.running = p
+	ct.execTimer = c.eng.After(exec, func() {
+		ct.execTimer = nil
+		ct.running = nil
 		iv.cpuBusy -= ct.cfg.CPU
 		fn.busyN--
 		fn.inFlight--
@@ -484,32 +596,146 @@ func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool
 			ExecTime:   exec,
 			CPU:        ct.cfg.CPU,
 			MemoryMB:   ct.cfg.MemoryMB,
-		}
-		c.metrics.record(res)
-		if p.span != 0 {
-			coldF := 0.0
-			if cold {
-				coldF = 1
-			}
-			c.tracer.EndSpan(p.span, c.eng.Now(), telemetry.Fields{
-				"cold":      coldF,
-				"wait_s":    res.WaitTime,
-				"exec_s":    exec,
-				"container": float64(ct.id),
-				"invoker":   float64(iv.ID),
-				"cpu":       ct.cfg.CPU,
-				"mem_mb":    ct.cfg.MemoryMB,
-			})
+			Outcome:    OutcomeSuccess,
+			Attempt:    p.attempt,
 		}
 		ct.state = stateIdle
 		ct.lastUsed = c.eng.Now()
 		fn.idle = append(fn.idle, ct)
 		c.armIdleTimer(ct)
-		if p.done != nil {
-			p.done(res)
-		}
+		c.deliver(p, res, ct)
 		c.drainAllQueues()
 	})
+}
+
+// abortRun terminates a busy container's in-flight invocation: the
+// completion event is canceled, the container dies, and the caller receives
+// a terminal non-success result reporting the execution time actually
+// burned. Shared by exec-kills, invoker crashes and deadline expiry.
+func (c *Cluster) abortRun(ct *container, p *pendingInvocation, outcome Outcome, reason string) {
+	iv := ct.invoker
+	fn := ct.fn
+	if ct.execTimer != nil {
+		ct.execTimer.Cancel()
+		ct.execTimer = nil
+	}
+	ct.running = nil
+	iv.cpuBusy -= ct.cfg.CPU
+	fn.busyN--
+	fn.inFlight--
+	now := c.eng.Now()
+	res := InvocationResult{
+		Function:      fn.spec.Name,
+		SubmitTime:    p.submitAt,
+		StartTime:     p.startTime,
+		EndTime:       now,
+		ColdStart:     p.cold,
+		WaitTime:      p.startTime - p.submitAt,
+		ExecTime:      now - p.startTime,
+		CPU:           ct.cfg.CPU,
+		MemoryMB:      ct.cfg.MemoryMB,
+		Outcome:       outcome,
+		FailureReason: reason,
+		Attempt:       p.attempt,
+		Err:           fmt.Errorf("faas: %s %s: %s", fn.spec.Name, outcome, reason),
+	}
+	c.faultKillContainer(ct, reason)
+	c.deliver(p, res, ct)
+	c.drainAllQueues()
+}
+
+// failPending delivers a terminal non-success result for an invocation that
+// never reached (or lost) its container. ct supplies configuration context
+// when known (may be nil or already dead).
+func (c *Cluster) failPending(fn *function, p *pendingInvocation, outcome Outcome, reason string, ct *container) {
+	now := c.eng.Now()
+	cfg := fn.cfg
+	if ct != nil {
+		cfg = ct.cfg
+	}
+	if reason == "" {
+		reason = "fault"
+	}
+	res := InvocationResult{
+		Function:      fn.spec.Name,
+		SubmitTime:    p.submitAt,
+		StartTime:     now,
+		EndTime:       now,
+		WaitTime:      now - p.submitAt,
+		CPU:           cfg.CPU,
+		MemoryMB:      cfg.MemoryMB,
+		Outcome:       outcome,
+		FailureReason: reason,
+		Attempt:       p.attempt,
+		Err:           fmt.Errorf("faas: %s %s: %s", fn.spec.Name, outcome, reason),
+	}
+	c.deliver(p, res, ct)
+}
+
+// deliver finalizes one invocation: cancels its deadline, records metrics,
+// ends its span and invokes the caller's callback.
+func (c *Cluster) deliver(p *pendingInvocation, res InvocationResult, ct *container) {
+	p.settled = true
+	if p.timeoutEv != nil {
+		p.timeoutEv.Cancel()
+		p.timeoutEv = nil
+	}
+	c.metrics.record(res)
+	if p.span != 0 {
+		coldF := 0.0
+		if res.ColdStart {
+			coldF = 1
+		}
+		f := telemetry.Fields{
+			"cold":    coldF,
+			"wait_s":  res.WaitTime,
+			"exec_s":  res.ExecTime,
+			"cpu":     res.CPU,
+			"mem_mb":  res.MemoryMB,
+			"outcome": float64(res.Outcome),
+			"attempt": float64(res.Attempt),
+		}
+		if ct != nil {
+			f["container"] = float64(ct.id)
+			f["invoker"] = float64(ct.invoker.ID)
+		}
+		c.tracer.EndSpan(p.span, c.eng.Now(), f)
+	}
+	if p.done != nil {
+		p.done(res)
+	}
+}
+
+// timeoutPending fires when an invocation's deadline expires before it
+// completed: queued work is dropped, a reserved warm-up is released, and a
+// running container is killed (wedged executions do not come back).
+func (c *Cluster) timeoutPending(fn *function, p *pendingInvocation) {
+	if p.settled {
+		return
+	}
+	ct := p.ct
+	if ct == nil {
+		// Still queued: drop it from the queue.
+		for i, q := range fn.queue {
+			if q == p {
+				fn.queue = append(fn.queue[:i], fn.queue[i+1:]...)
+				break
+			}
+		}
+		c.failPending(fn, p, OutcomeTimedOut, "timeout", nil)
+		return
+	}
+	switch {
+	case ct.state == stateBusy && ct.running == p:
+		c.abortRun(ct, p, OutcomeTimedOut, "timeout")
+	default:
+		// Reserved on a container still warming (or already lost): give
+		// up the reservation; runOn sees the settled flag and returns a
+		// healthy container to the idle pool.
+		fn.inFlight--
+		c.failPending(fn, p, OutcomeTimedOut, "timeout", nil)
+		c.drainAllQueues()
+	}
 }
 
 // warmedAhead reports whether the container finished initializing before
@@ -582,6 +808,110 @@ func (c *Cluster) armIdleTimer(ct *container) {
 	})
 }
 
+// SetFaultRates installs the probabilistic fault knobs (driven by
+// internal/chaos during fault windows). Zero rates cost no RNG draws, so a
+// run that never enables them is byte-identical to one before the fault
+// model existed.
+func (c *Cluster) SetFaultRates(f FaultRates) { c.faults = f }
+
+// Faults returns the active fault rates.
+func (c *Cluster) Faults() FaultRates { return c.faults }
+
+// SetStraggler applies a multiplicative execution slowdown to one invoker
+// (chaos straggler episodes). Factor <= 1 clears it.
+func (c *Cluster) SetStraggler(invoker int, factor float64) {
+	if invoker < 0 || invoker >= len(c.invokers) {
+		return
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	c.invokers[invoker].straggle = factor
+}
+
+// OnInvokerDown registers a callback fired synchronously after an invoker
+// finishes crashing (all containers torn down, in-flight work failed). The
+// pool manager uses it to re-warm lost capacity on surviving invokers.
+func (c *Cluster) OnInvokerDown(f func(invoker int)) {
+	c.onInvokerDown = append(c.onInvokerDown, f)
+}
+
+// CrashInvoker takes a worker server down: every resident container dies
+// and in-flight invocations on it fail with OutcomeFailed. The controller
+// routes around the invoker until RecoverInvoker brings it back.
+func (c *Cluster) CrashInvoker(invoker int) {
+	if invoker < 0 || invoker >= len(c.invokers) {
+		return
+	}
+	iv := c.invokers[invoker]
+	if iv.down {
+		return
+	}
+	iv.down = true
+	c.metrics.invokerCrashed()
+	// Snapshot and sort: map iteration order must not leak into the
+	// deterministic event sequence.
+	cts := make([]*container, 0, len(iv.containers))
+	for ct := range iv.containers {
+		cts = append(cts, ct)
+	}
+	sort.Slice(cts, func(i, j int) bool {
+		if cts[i].fn.spec.Name != cts[j].fn.spec.Name {
+			return cts[i].fn.spec.Name < cts[j].fn.spec.Name
+		}
+		return cts[i].id < cts[j].id
+	})
+	// Hold queue draining until the whole invoker is torn down, so failed
+	// work retried inline cannot land on a container about to die. Pass 1
+	// removes idle/warming capacity; pass 2 fails the running work.
+	wasDraining := c.draining
+	c.draining = true
+	for _, ct := range cts {
+		if ct.state != stateBusy {
+			c.faultKillContainer(ct, "invoker-crash")
+		}
+	}
+	for _, ct := range cts {
+		if ct.state == stateBusy && ct.running != nil {
+			c.abortRun(ct, ct.running, OutcomeFailed, "invoker-crash")
+		}
+	}
+	c.draining = wasDraining
+	iv.cpuBusy = 0
+	for _, f := range c.onInvokerDown {
+		f(invoker)
+	}
+	c.drainAllQueues()
+}
+
+// RecoverInvoker brings a crashed worker back online, empty; queued work
+// can immediately spawn containers on it.
+func (c *Cluster) RecoverInvoker(invoker int) {
+	if invoker < 0 || invoker >= len(c.invokers) {
+		return
+	}
+	iv := c.invokers[invoker]
+	if !iv.down {
+		return
+	}
+	iv.down = false
+	c.drainAllQueues()
+}
+
+// faultKillContainer terminates a container because of a fault: waiters
+// reserved on it fail instead of silently re-dispatching.
+func (c *Cluster) faultKillContainer(ct *container, reason string) {
+	if ct.state == stateDead {
+		return
+	}
+	ct.faultKilled = true
+	ct.faultReason = reason
+	if reason == "init-failure" {
+		c.metrics.initFailure()
+	}
+	c.killContainer(ct)
+}
+
 // killContainer releases a container's resources and accounts its
 // memory-time.
 func (c *Cluster) killContainer(ct *container) {
@@ -614,11 +944,16 @@ func (c *Cluster) killContainer(ct *container) {
 	ct.invoker.memUsedMB -= ct.cfg.MemoryMB
 	c.metrics.containerDied(ct.cfg.MemoryMB, c.eng.Now()-ct.born)
 	if c.tracer.Enabled() {
+		faultF := 0.0
+		if ct.faultKilled {
+			faultF = 1
+		}
 		c.tracer.Point(telemetry.KindContainerKill, fn.spec.Name, 0, c.eng.Now(), telemetry.Fields{
 			"container":  float64(ct.id),
 			"invoker":    float64(ct.invoker.ID),
 			"mem_mb":     ct.cfg.MemoryMB,
 			"lifetime_s": c.eng.Now() - ct.born,
+			"fault":      faultF,
 		})
 	}
 	// Freed capacity may unblock queued work.

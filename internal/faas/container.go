@@ -30,4 +30,18 @@ type container struct {
 	// prewarmed marks containers created proactively by the pool
 	// scheduler rather than on demand.
 	prewarmed bool
+	// initFailed marks a container whose initialization was chosen to
+	// fail (FaultRates.InitFailure): it dies at warmAt instead of going
+	// idle, and any invocation reserved on it fails.
+	initFailed bool
+	// faultKilled distinguishes fault-driven deaths (invoker crash, init
+	// failure, exec kill) from benign keep-alive/eviction kills: waiters
+	// on a fault-killed container fail instead of re-dispatching.
+	// faultReason names the fault for failure results.
+	faultKilled bool
+	faultReason string
+	// running/execTimer track the in-flight invocation while busy, so
+	// crashes and timeouts can cancel the completion and fail it.
+	running   *pendingInvocation
+	execTimer *sim.Event
 }

@@ -20,6 +20,10 @@ type Metrics struct {
 
 	coldStarts        *telemetry.Counter
 	warmStarts        *telemetry.Counter
+	failed            *telemetry.Counter
+	timedOut          *telemetry.Counter
+	initFailures      *telemetry.Counter
+	invokerCrashes    *telemetry.Counter
 	cpuTime           *telemetry.Counter
 	memTime           *telemetry.Counter
 	provisionedMem    *telemetry.Counter
@@ -47,6 +51,10 @@ func NewMetricsOn(reg *telemetry.Registry) *Metrics {
 		reg:               reg,
 		coldStarts:        reg.Counter("faas.cold_starts"),
 		warmStarts:        reg.Counter("faas.warm_starts"),
+		failed:            reg.Counter("faas.failed_invocations"),
+		timedOut:          reg.Counter("faas.timedout_invocations"),
+		initFailures:      reg.Counter("faas.init_failures"),
+		invokerCrashes:    reg.Counter("faas.invoker_crashes"),
 		cpuTime:           reg.Counter("faas.cpu_time_core_s"),
 		memTime:           reg.Counter("faas.mem_time_gb_s"),
 		provisionedMem:    reg.Counter("faas.provisioned_mem_time_gb_s"),
@@ -66,6 +74,20 @@ func (m *Metrics) record(r InvocationResult) {
 	if m.KeepResults {
 		m.Results = append(m.Results, r)
 	}
+	switch r.Outcome {
+	case OutcomeFailed, OutcomeTimedOut:
+		if r.Outcome == OutcomeFailed {
+			m.failed.Inc()
+		} else {
+			m.timedOut.Inc()
+		}
+		// The partial execution still burned resources; keep the cost
+		// model honest but keep failure latencies out of the success
+		// histograms.
+		m.cpuTime.Add(r.CostCPUTime())
+		m.memTime.Add(r.CostMemTime())
+		return
+	}
 	if r.ColdStart {
 		m.coldStarts.Inc()
 	} else {
@@ -79,6 +101,10 @@ func (m *Metrics) record(r InvocationResult) {
 }
 
 func (m *Metrics) containerCreated() { m.containersCreated.Inc() }
+
+func (m *Metrics) initFailure() { m.initFailures.Inc() }
+
+func (m *Metrics) invokerCrashed() { m.invokerCrashes.Inc() }
 
 func (m *Metrics) containerDied(memMB, lifetime float64) {
 	m.containersKilled.Inc()
@@ -109,8 +135,24 @@ func (m *Metrics) ContainersCreated() int { return int(m.containersCreated.Value
 // ContainersKilled returns the number of containers terminated.
 func (m *Metrics) ContainersKilled() int { return int(m.containersKilled.Value()) }
 
-// Invocations returns the total number of completed invocations.
-func (m *Metrics) Invocations() int { return m.ColdStarts() + m.WarmStarts() }
+// FailedInvocations returns the number of invocations that terminated with
+// OutcomeFailed (init failure, container kill, invoker crash).
+func (m *Metrics) FailedInvocations() int { return int(m.failed.Value()) }
+
+// TimedOutInvocations returns the number of deadline-expired invocations.
+func (m *Metrics) TimedOutInvocations() int { return int(m.timedOut.Value()) }
+
+// InitFailures returns the number of container initialization failures.
+func (m *Metrics) InitFailures() int { return int(m.initFailures.Value()) }
+
+// InvokerCrashes returns the number of invoker crash events.
+func (m *Metrics) InvokerCrashes() int { return int(m.invokerCrashes.Value()) }
+
+// Invocations returns the total number of terminally completed invocations,
+// whatever their outcome.
+func (m *Metrics) Invocations() int {
+	return m.ColdStarts() + m.WarmStarts() + m.FailedInvocations() + m.TimedOutInvocations()
+}
 
 // ColdStartRate returns the fraction of invocations that were cold starts.
 func (m *Metrics) ColdStartRate() float64 {
@@ -130,6 +172,10 @@ func (m *Metrics) Reset() {
 	m.Results = nil
 	m.coldStarts.Reset()
 	m.warmStarts.Reset()
+	m.failed.Reset()
+	m.timedOut.Reset()
+	m.initFailures.Reset()
+	m.invokerCrashes.Reset()
 	m.cpuTime.Reset()
 	m.memTime.Reset()
 	m.provisionedMem.Reset()

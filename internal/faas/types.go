@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"aquatope/internal/stats"
+	"aquatope/internal/telemetry"
 )
 
 // ResourceConfig is a per-function container configuration, mirroring the
@@ -70,6 +71,36 @@ type FunctionSpec struct {
 	TriggerType int
 }
 
+// Outcome is the terminal state of an invocation. Before the fault model
+// existed every invocation succeeded; now results carry an explicit outcome
+// instead of overloading latency with sentinel values.
+type Outcome int
+
+const (
+	// OutcomeSuccess is a normally completed invocation.
+	OutcomeSuccess Outcome = iota
+	// OutcomeFailed is a hard fault: container init failure, container
+	// kill mid-execution, or invoker crash losing the invocation.
+	OutcomeFailed
+	// OutcomeTimedOut is a caller-imposed deadline expiring before the
+	// invocation completed (the container is reclaimed).
+	OutcomeTimedOut
+)
+
+// String returns the outcome's wire name (used in telemetry and reports).
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeTimedOut:
+		return "timed-out"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
 // InvocationResult reports one completed invocation.
 type InvocationResult struct {
 	Function   string
@@ -81,7 +112,46 @@ type InvocationResult struct {
 	ExecTime   float64
 	CPU        float64 // CPU limit during the run
 	MemoryMB   float64
-	Err        error
+	// Outcome is the terminal state; non-success results report the time
+	// actually burned (partial ExecTime) so cost accounting stays honest.
+	Outcome Outcome
+	// FailureReason names the fault for non-success outcomes
+	// ("init-failure", "container-kill", "invoker-crash", "timeout").
+	FailureReason string
+	// Attempt is the caller's retry attempt index (0 = first try),
+	// threaded through InvokeOptions for telemetry.
+	Attempt int
+	Err     error
+}
+
+// OK reports whether the invocation completed successfully.
+func (r InvocationResult) OK() bool { return r.Outcome == OutcomeSuccess }
+
+// InvokeOptions parameterizes an invocation beyond the basic path.
+type InvokeOptions struct {
+	// InputSize is the request's input size (performance-model feature).
+	InputSize float64
+	// Parent links the invocation span to the issuing operation's span.
+	Parent telemetry.SpanID
+	// Timeout fails the invocation with OutcomeTimedOut if it has not
+	// completed this many seconds after submission (0 = no deadline).
+	Timeout float64
+	// Attempt tags the result and span with the caller's retry attempt.
+	Attempt int
+}
+
+// FaultRates are the probabilistic fault knobs of the platform, normally
+// zero and driven by internal/chaos during fault windows. Draws come from a
+// dedicated fault RNG so enabling them never perturbs the noise stream.
+type FaultRates struct {
+	// InitFailure is the probability a container's initialization fails
+	// (the container dies at warm-up completion; a reserved invocation
+	// fails with OutcomeFailed).
+	InitFailure float64
+	// ExecKill is the per-invocation probability the hosting container is
+	// killed mid-execution (OOM-style), failing the invocation at a
+	// uniform point of its execution.
+	ExecKill float64
 }
 
 // Latency returns the invocation's end-to-end latency (submit to finish).

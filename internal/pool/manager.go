@@ -21,6 +21,11 @@ type Manager struct {
 	// demand history is already being collected — the training window of
 	// an end-to-end run.
 	ApplyAfter float64
+	// RewarmDelaySec is how long after an invoker crash the manager
+	// re-asserts its last pre-warm targets, restoring the pool that died
+	// with the invoker instead of waiting out the adjustment interval
+	// (default 1 s — the surviving invokers' spawn latency dominates).
+	RewarmDelaySec float64
 
 	entries []*entry
 	started bool
@@ -35,11 +40,14 @@ type entry struct {
 	// length), keeping time-of-day features continuous.
 	offsetMin int
 	watermark float64
+	// lastTarget remembers the most recent applied pre-warm target so pool
+	// capacity lost to an invoker crash can be restored between ticks.
+	lastTarget int
 }
 
 // NewManager returns a manager bound to a cluster.
 func NewManager(cl *faas.Cluster) *Manager {
-	return &Manager{cl: cl, IntervalSec: 60, SamplesPerInterval: 12}
+	return &Manager{cl: cl, IntervalSec: 60, SamplesPerInterval: 12, RewarmDelaySec: 1}
 }
 
 // Manage registers a function under a policy. offsetMin is the absolute
@@ -94,6 +102,7 @@ func (m *Manager) Start() {
 			}
 			if dec.Target >= 0 {
 				_ = m.cl.SetPrewarmTarget(e.fn, dec.Target)
+				e.lastTarget = dec.Target
 			}
 			if tr.Enabled() {
 				tr.Point(telemetry.KindPoolDecision, e.fn, 0, eng.Now(), telemetry.Fields{
@@ -109,6 +118,32 @@ func (m *Manager) Start() {
 	}
 	eng.After(sampleGap, sample)
 	eng.After(m.IntervalSec, tick)
+	// Recovery re-warming: when an invoker crashes, its warm containers die
+	// with it. Re-assert the last pre-warm targets shortly after the crash
+	// so the pool is rebuilt on the survivors instead of serving cold
+	// starts until the next adjustment tick.
+	m.cl.OnInvokerDown(func(invoker int) {
+		delay := m.RewarmDelaySec
+		if delay <= 0 {
+			delay = 1
+		}
+		eng.After(delay, func() {
+			tr := m.cl.Tracer()
+			for _, e := range m.entries {
+				if e.lastTarget <= 0 {
+					continue
+				}
+				_ = m.cl.SetPrewarmTarget(e.fn, e.lastTarget)
+				if tr.Enabled() {
+					tr.Point(telemetry.KindPoolDecision, e.fn, 0, eng.Now(), telemetry.Fields{
+						"target":  float64(e.lastTarget),
+						"rewarm":  1,
+						"invoker": float64(invoker),
+					})
+				}
+			}
+		})
+	})
 }
 
 // DemandSeries computes the per-minute concurrent-demand series implied by

@@ -44,6 +44,13 @@ const (
 	KindPoolDecision = "pool.decision"
 	// KindBOIteration is one Bayesian-optimization observe/refit round.
 	KindBOIteration = "bo.iteration"
+	// KindChaosFault is one injected fault episode (invoker crash window,
+	// container-kill / init-failure window, straggler episode); the span
+	// covers the fault's active window.
+	KindChaosFault = "chaos.fault"
+	// KindRetry marks the resilience layer scheduling a retry of a failed
+	// or timed-out invocation (point; child of the stage span).
+	KindRetry = "invocation.retry"
 )
 
 // Span is one recorded interval (or point event, when Start == End).

@@ -8,9 +8,12 @@ package workflow
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"aquatope/internal/faas"
+	"aquatope/internal/sim"
+	"aquatope/internal/stats"
 	"aquatope/internal/telemetry"
 )
 
@@ -152,17 +155,90 @@ func FanOutFanIn(name, source string, branches []string, sink string) *DAG {
 	return d
 }
 
+// RetryPolicy is the workflow resilience layer: per-attempt timeouts,
+// capped exponential backoff with deterministic jitter, and an optional
+// hedged duplicate request. A nil policy on the Executor preserves the
+// original fire-once semantics.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total attempts per logical invocation,
+	// including the first and any hedge (values < 1 behave as 1).
+	MaxAttempts int
+	// Timeout is the per-attempt deadline in seconds (0 = none).
+	Timeout float64
+	// InitialBackoff is the delay before the first retry; each further
+	// retry multiplies it by BackoffFactor, capped at MaxBackoff.
+	InitialBackoff float64
+	BackoffFactor  float64
+	MaxBackoff     float64
+	// JitterFrac spreads each backoff uniformly in ±JitterFrac around its
+	// nominal value, drawn from the executor's seeded RNG so same-seed
+	// runs schedule identical retries.
+	JitterFrac float64
+	// HedgeDelay, when positive, issues one duplicate of a still-pending
+	// first attempt after this many seconds (tail-latency hedging). The
+	// first terminal success wins; the hedge counts against MaxAttempts.
+	HedgeDelay float64
+}
+
+// DefaultRetryPolicy returns a conservative production-style policy: three
+// attempts, 0.5 s initial backoff doubling to a 8 s cap, 20% jitter, no
+// per-attempt timeout and no hedging (enable per workload).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    3,
+		InitialBackoff: 0.5,
+		BackoffFactor:  2,
+		MaxBackoff:     8,
+		JitterFrac:     0.2,
+	}
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the nominal delay before retry number k (0-based).
+func (p RetryPolicy) backoff(k int) float64 {
+	b := p.InitialBackoff
+	if b <= 0 {
+		return 0
+	}
+	f := p.BackoffFactor
+	if f < 1 {
+		f = 1
+	}
+	b *= math.Pow(f, float64(k))
+	if p.MaxBackoff > 0 && b > p.MaxBackoff {
+		b = p.MaxBackoff
+	}
+	return b
+}
+
 // Result reports one end-to-end workflow execution.
 type Result struct {
 	Workflow   string
 	SubmitTime float64
 	EndTime    float64
-	// PerStage holds the invocation results of every stage instance.
+	// PerStage holds the terminal invocation result of every stage
+	// instance (the settling attempt: the winner under retries/hedging).
 	PerStage map[string][]faas.InvocationResult
 	// ColdStarts counts cold-started invocations across stages.
 	ColdStarts int
 	// Invocations counts total function invocations.
 	Invocations int
+	// Failed reports that some stage instance exhausted its attempts:
+	// downstream stages were skipped and the workflow's output is lost.
+	Failed bool
+	// FailedInvocations counts stage instances that terminally failed.
+	FailedInvocations int
+	// Retries counts re-issued attempts; Hedges counts hedged duplicates.
+	Retries int
+	Hedges  int
+	// SkippedStages counts stages short-circuited after a failure.
+	SkippedStages int
 }
 
 // Latency returns the end-to-end latency.
@@ -202,10 +278,27 @@ func (r Result) Cost(cpuWeight, memWeight float64) float64 {
 // Executor runs workflow DAGs on a cluster.
 type Executor struct {
 	Cluster *faas.Cluster
+	// Policy enables the resilience layer (nil = fire-once, no timeout).
+	Policy *RetryPolicy
+	// Seed drives the deterministic retry jitter stream.
+	Seed int64
+
+	rng *stats.RNG
 }
 
 // NewExecutor returns an executor bound to a cluster.
 func NewExecutor(c *faas.Cluster) *Executor { return &Executor{Cluster: c} }
+
+// jitter returns a multiplicative jitter factor in [1-frac, 1+frac].
+func (e *Executor) jitter(frac float64) float64 {
+	if frac <= 0 {
+		return 1
+	}
+	if e.rng == nil {
+		e.rng = stats.NewRNG(e.Seed)
+	}
+	return 1 + frac*(2*e.rng.Float64()-1)
+}
 
 // Execute submits one workflow request with the given input size. Width
 // overrides (may be nil) replace stage widths per request — e.g. a social
@@ -223,6 +316,7 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 	remainingDeps := make([]int, n)
 	pendingInv := make([]int, n) // outstanding invocations per running stage
 	stagesLeft := n
+	finished := false
 	var launch func(i int)
 	finishStage := func(i int) {
 		stagesLeft--
@@ -237,7 +331,11 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 				launch(ch)
 			}
 		}
-		if stagesLeft == 0 {
+		// The finished guard matters under fail-fast: skipping a child
+		// stage re-enters finishStage synchronously, so after the recursion
+		// unwinds the parent frame can observe stagesLeft == 0 again.
+		if stagesLeft == 0 && !finished {
+			finished = true
 			res.EndTime = e.Cluster.Engine().Now()
 			if wfSpan != 0 {
 				tr.EndSpan(wfSpan, res.EndTime, telemetry.Fields{
@@ -250,8 +348,150 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 			}
 		}
 	}
+	// settleCall records the terminal result of one logical stage instance
+	// (the winning attempt under retries/hedging) and advances the stage.
+	settleCall := func(i int, r faas.InvocationResult) {
+		st := d.stages[i]
+		res.PerStage[st.Name] = append(res.PerStage[st.Name], r)
+		res.Invocations++
+		if r.ColdStart {
+			res.ColdStarts++
+		}
+		if !r.OK() {
+			res.Failed = true
+			res.FailedInvocations++
+		}
+		pendingInv[i]--
+		if pendingInv[i] == 0 {
+			finishStage(i)
+		}
+	}
+	// runCall executes one logical stage instance under the resilience
+	// policy: per-attempt timeout, capped exponential backoff retries with
+	// deterministic jitter, and an optional hedged duplicate. Exactly one
+	// terminal result settles the call; late hedge losers are dropped.
+	runCall := func(i int) {
+		st := d.stages[i]
+		pol := e.Policy
+		maxAttempts := 1
+		var timeout float64
+		if pol != nil {
+			maxAttempts = pol.maxAttempts()
+			timeout = pol.Timeout
+		}
+		type callState struct {
+			settled     bool
+			issued      int // attempts issued or committed (incl. scheduled)
+			outstanding int // attempts in flight or scheduled
+			retries     int
+			hedgeEv     *sim.Event
+		}
+		cs := &callState{}
+		eng := e.Cluster.Engine()
+		var issue func()
+		var onTerminal func(r faas.InvocationResult)
+		issue = func() {
+			attempt := cs.issued
+			cs.issued++
+			cs.outstanding++
+			err := e.Cluster.InvokeOpts(st.Function, faas.InvokeOptions{
+				InputSize: inputSize * st.inputScale(),
+				Parent:    stageSpans[i],
+				Timeout:   timeout,
+				Attempt:   attempt,
+			}, onTerminal)
+			if err != nil {
+				panic(fmt.Sprintf("workflow: invoke %s: %v", st.Function, err))
+			}
+		}
+		settle := func(r faas.InvocationResult) {
+			cs.settled = true
+			if cs.hedgeEv != nil {
+				cs.hedgeEv.Cancel()
+				cs.hedgeEv = nil
+			}
+			settleCall(i, r)
+		}
+		onTerminal = func(r faas.InvocationResult) {
+			cs.outstanding--
+			if cs.settled {
+				return // hedge loser / late completion
+			}
+			if r.OK() {
+				settle(r)
+				return
+			}
+			if cs.issued < maxAttempts {
+				// Schedule a retry with capped exponential backoff.
+				k := cs.retries
+				cs.retries++
+				res.Retries++
+				backoff := pol.backoff(k) * e.jitter(pol.JitterFrac)
+				if tr.Enabled() {
+					tr.Point(telemetry.KindRetry, st.Function, stageSpans[i], eng.Now(), telemetry.Fields{
+						"attempt":   float64(cs.issued),
+						"backoff_s": backoff,
+						"outcome":   float64(r.Outcome),
+						"hedge":     0,
+					})
+				}
+				cs.issued++ // commit the slot before the timer fires
+				cs.outstanding++
+				eng.After(backoff, func() {
+					if cs.settled {
+						cs.outstanding--
+						return
+					}
+					cs.issued--
+					cs.outstanding--
+					issue()
+				})
+				return
+			}
+			if cs.outstanding == 0 {
+				// Every attempt exhausted; the last failure settles.
+				settle(r)
+			}
+		}
+		issue()
+		if pol != nil && pol.HedgeDelay > 0 && maxAttempts > 1 {
+			cs.hedgeEv = eng.After(pol.HedgeDelay, func() {
+				cs.hedgeEv = nil
+				if cs.settled || cs.issued >= maxAttempts || cs.outstanding == 0 {
+					return
+				}
+				res.Hedges++
+				if tr.Enabled() {
+					tr.Point(telemetry.KindRetry, st.Function, stageSpans[i], eng.Now(), telemetry.Fields{
+						"attempt":   float64(cs.issued),
+						"backoff_s": 0,
+						"outcome":   0,
+						"hedge":     1,
+					})
+				}
+				issue()
+			})
+		}
+	}
 	launch = func(i int) {
 		st := d.stages[i]
+		stageSpans[i] = tr.StartSpan(telemetry.KindStage, st.Name, wfSpan, e.Cluster.Engine().Now())
+		if res.Failed {
+			// Fail-fast: an upstream stage exhausted its attempts, so
+			// this stage's inputs are lost. Skip it (and, transitively,
+			// the rest of the DAG) instead of burning resources.
+			res.SkippedStages++
+			pendingInv[i] = 0
+			if stageSpans[i] != 0 {
+				tr.EndSpan(stageSpans[i], e.Cluster.Engine().Now(), telemetry.Fields{
+					"invocations": 0,
+					"skipped":     1,
+				})
+				stageSpans[i] = 0
+			}
+			finishStage(i)
+			return
+		}
 		w := st.width()
 		if widths != nil {
 			if ov, ok := widths[st.Name]; ok && ov > 0 {
@@ -259,22 +499,8 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 			}
 		}
 		pendingInv[i] = w
-		stageSpans[i] = tr.StartSpan(telemetry.KindStage, st.Name, wfSpan, e.Cluster.Engine().Now())
 		for k := 0; k < w; k++ {
-			err := e.Cluster.InvokeSpan(st.Function, inputSize*st.inputScale(), stageSpans[i], func(r faas.InvocationResult) {
-				res.PerStage[st.Name] = append(res.PerStage[st.Name], r)
-				res.Invocations++
-				if r.ColdStart {
-					res.ColdStarts++
-				}
-				pendingInv[i]--
-				if pendingInv[i] == 0 {
-					finishStage(i)
-				}
-			})
-			if err != nil {
-				panic(fmt.Sprintf("workflow: invoke %s: %v", st.Function, err))
-			}
+			runCall(i)
 		}
 	}
 	// Validate functions exist before launching anything.
