@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: verify build vet fmtcheck test bench
+.PHONY: verify build vet fmtcheck lint test bench
 
-# Tier-1 gate: build everything, vet, check formatting, and run the full
-# test suite with the race detector. CI and pre-commit both run this target.
-# The race detector is ~10x slower than a plain run and the experiment
-# harnesses are end-to-end simulations, so the suite needs more than go
-# test's default 10-minute budget on small machines.
-verify: build vet fmtcheck
+# Tier-1 gate: build everything, vet, check formatting, lint the
+# determinism invariants, and run the full test suite with the race
+# detector. CI and pre-commit both run this target. The race detector is
+# ~10x slower than a plain run and the experiment harnesses are
+# end-to-end simulations, so the suite needs more than go test's default
+# 10-minute budget on small machines.
+verify: build vet fmtcheck lint
 	$(GO) test -race -timeout 30m ./...
+
+# aqualint machine-checks the simulator's determinism invariants
+# (DESIGN.md §8): no wall-clock time, no global randomness, no
+# order-dependent map iteration, no silently dropped errors.
+lint:
+	$(GO) run ./cmd/aqualint ./...
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -100,9 +100,10 @@ func main() {
 	}
 
 	for _, id := range ids {
-		start := time.Now()
+		start := time.Now() //aqualint:allow wallclock benchmark harness reports real elapsed time per experiment, not simulated time
 		fmt.Printf("=== %s ===\n", titles[id])
 		fmt.Print(runners[id]())
+		//aqualint:allow wallclock real elapsed time of the experiment run
 		fmt.Printf("(%s, scale=%s, %.1fs)\n\n", id, *scaleName, time.Since(start).Seconds())
 	}
 

@@ -1,0 +1,75 @@
+// Command aqualint machine-checks the repository's determinism and
+// simulation-safety invariants (DESIGN.md §8). It is a self-contained
+// static analyzer over go/ast + go/types with four checks:
+//
+//	wallclock   no time.Now/Since/Sleep/timers in simulation-driven code
+//	globalrand  no math/rand outside internal/stats (seeded RNGs only)
+//	maporder    no order-dependent work inside for-range over a map
+//	droppederr  no silently discarded error results in non-test code
+//
+// Suppress a finding on one line with an explained escape hatch:
+//
+//	//aqualint:allow <check> <reason>
+//
+// Usage:
+//
+//	aqualint [-checks wallclock,maporder] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit code
+// is 0 when clean, 1 when findings are reported, 2 on usage or load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aquatope/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all of "+strings.Join(lint.AnalyzerNames(), ",")+")")
+	flag.Parse()
+
+	cfg := lint.DefaultConfig()
+	if *checks != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := cfg.Checks[name]; !ok {
+				fmt.Fprintf(os.Stderr, "aqualint: unknown check %q (known: %s)\n", name, strings.Join(lint.AnalyzerNames(), ", "))
+				os.Exit(2)
+			}
+			keep[name] = true
+		}
+		for name := range cfg.Checks {
+			if !keep[name] {
+				delete(cfg.Checks, name)
+			}
+		}
+	}
+
+	pkgs, err := lint.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqualint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, cfg)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := f.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, f.Check, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "aqualint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -62,7 +62,10 @@ func main() {
 				os.Exit(1)
 			}
 			writeTrace(f, tr)
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d traces to %s/\n", *n, dir)
 	default:

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aquatope/internal/chaos"
+	"aquatope/internal/telemetry"
+	"aquatope/internal/workflow"
+)
+
+// runFullPipeline executes the whole controller — resource-manager
+// search, pool management, live traffic with chaos armed and the
+// resilience layer on — with tracing and metrics attached. It is the
+// regression fixture for the repo's core determinism invariant: every
+// layer aqualint polices (virtual time only, seeded RNGs only, ordered
+// float aggregation) feeds this run.
+func runFullPipeline(t *testing.T, seed int64) (Result, *telemetry.Collector, *telemetry.Registry) {
+	t.Helper()
+	comps := smallComponents(2)
+	horizon := float64(comps[0].Trace.DurationMin) * 60
+	scn, ok := chaos.Builtin("mixed", horizon, seed)
+	if !ok {
+		t.Fatal("mixed chaos scenario missing")
+	}
+	pol := workflow.DefaultRetryPolicy()
+	pol.HedgeDelay = 30 // exercise hedging, not just retries
+	col := telemetry.NewCollector()
+	reg := telemetry.NewRegistry()
+	res, err := Run(Config{
+		Components:     comps,
+		TrainMin:       120,
+		PoolFactory:    fastPool(),
+		ManagerFactory: AquatopeManagerFactory(),
+		SearchBudget:   6,
+		Chaos:          scn,
+		Resilience:     &pol,
+		Tracer:         col,
+		Registry:       reg,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, col, reg
+}
+
+// TestFullPipelineDeterministicUnderChaos runs the complete core pipeline
+// twice with the same seed and chaos on, and requires byte-identical span
+// and metric dumps. It complements chaos_test.go's injector-level
+// determinism test by covering the full stack above it (BO search, BNN
+// pool sizing, retry/hedge scheduling, metric aggregation).
+func TestFullPipelineDeterministicUnderChaos(t *testing.T) {
+	res1, col1, reg1 := runFullPipeline(t, 11)
+	res2, col2, reg2 := runFullPipeline(t, 11)
+
+	var faults int
+	for _, s := range col1.Spans() {
+		if s.Kind == telemetry.KindChaosFault {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("chaos scenario armed but no chaos.fault spans recorded")
+	}
+	if res1.Workflows() == 0 {
+		t.Fatal("no workflows completed in the test window")
+	}
+	if res1.Retries()+res1.Hedges() == 0 {
+		t.Fatal("resilience layer enabled but no retries or hedges occurred")
+	}
+
+	var s1, s2 bytes.Buffer
+	if err := col1.WriteJSONL(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := col2.WriteJSONL(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Errorf("same-seed chaos runs produced different span streams (%d vs %d bytes); first divergence:\n%s",
+			s1.Len(), s2.Len(), firstDivergence(s1.String(), s2.String()))
+	}
+
+	var m1, m2 bytes.Buffer
+	if err := reg1.WriteJSON(&m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg2.WriteJSON(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Errorf("same-seed chaos runs produced different metric snapshots; first divergence:\n%s",
+			firstDivergence(m1.String(), m2.String()))
+	}
+
+	if res1.QoSViolationRate() != res2.QoSViolationRate() || res1.Goodput() != res2.Goodput() {
+		t.Errorf("summary metrics diverged: violations %v vs %v, goodput %v vs %v",
+			res1.QoSViolationRate(), res2.QoSViolationRate(), res1.Goodput(), res2.Goodput())
+	}
+}
+
+// firstDivergence renders the first differing line pair of two dumps so a
+// determinism regression points straight at the leaking subsystem.
+func firstDivergence(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			return "line " + strconv.Itoa(i+1) + ":\n  run1: " + la[i] + "\n  run2: " + lb[i]
+		}
+	}
+	return "dumps differ only in length"
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var droppederrAnalyzer = &Analyzer{
+	Name: "droppederr",
+	Doc: "flag calls whose error result is silently discarded in non-test " +
+		"code (expression statements, defer, go)",
+	NeedsTypes: true,
+	Run:        runDroppedErr,
+}
+
+// droppederrExcluded lists callees whose dropped error is conventional:
+// fmt's console printers and the in-memory writers documented to never
+// fail. Explicit `_ = f()` is also never flagged — the blank assignment
+// is a visible, reviewable discard.
+var droppederrExcluded = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+var droppederrExcludedRecv = []string{
+	"(*bytes.Buffer).",
+	"(*strings.Builder).",
+}
+
+func runDroppedErr(pkg *Package, file *File, rule Rule, report Reporter) {
+	info := pkg.Info
+	ast.Inspect(file.AST, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				checkDroppedErr(info, call, "", report)
+			}
+		case *ast.DeferStmt:
+			checkDroppedErr(info, st.Call, "deferred ", report)
+		case *ast.GoStmt:
+			checkDroppedErr(info, st.Call, "goroutine ", report)
+		}
+		return true
+	})
+}
+
+func checkDroppedErr(info *types.Info, call *ast.CallExpr, kind string, report Reporter) {
+	if !returnsError(info, call) || excludedCallee(info, call) {
+		return
+	}
+	report(call.Pos(), "%scall to %s discards its error result; handle it, assign it explicitly, or annotate the line", kind, types.ExprString(call.Fun))
+}
+
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	if types.Identical(t, errorType) {
+		return true
+	}
+	iface, _ := errorType.Underlying().(*types.Interface)
+	return iface != nil && types.Implements(t, iface)
+}
+
+func excludedCallee(info *types.Info, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	full := fn.FullName()
+	if droppederrExcluded[full] {
+		return true
+	}
+	for _, prefix := range droppederrExcludedRecv {
+		if strings.HasPrefix(full, prefix) {
+			return true
+		}
+	}
+	return false
+}

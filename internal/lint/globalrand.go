@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalrandDraws are the math/rand package-level functions that draw from
+// (or reseed) the shared process-wide generator. Any draw from them is
+// invisible to the run seed, so two same-seed runs diverge.
+var globalrandDraws = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true, "UintN64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+var globalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid math/rand outside internal/stats so every random draw " +
+		"flows from a seeded, explicitly plumbed stats.RNG",
+	Run: runGlobalrand,
+}
+
+func runGlobalrand(pkg *Package, file *File, rule Rule, report Reporter) {
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		names, dot, spec := importNames(file.AST, path)
+		if dot {
+			report(spec.Pos(), "dot-import of %s hides global randomness from aqualint; import it qualified", path)
+			continue
+		}
+		if len(names) == 0 {
+			continue
+		}
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || !names[id.Name] {
+				return true
+			}
+			if globalrandDraws[sel.Sel.Name] {
+				report(sel.Pos(), "rand.%s draws from the shared process-wide generator, invisible to the run seed; use a seeded stats.RNG plumbed from the run configuration", sel.Sel.Name)
+			} else {
+				report(sel.Pos(), "math/rand used outside internal/stats (rand.%s); construct seeded generators through stats.NewRNG/Split so every draw is reproducible", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

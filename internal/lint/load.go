@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load resolves patterns (e.g. "./...") in dir to parsed, type-checked
+// packages ready for analysis. It shells out to the go command once —
+// `go list -deps -export -json` — to enumerate packages and obtain
+// compiled export data for every dependency, then type-checks the target
+// packages from source against that export data. This keeps the tool on
+// the standard library alone: no golang.org/x/tools.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := buildPackage(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func buildPackage(fset *token.FileSet, imp types.Importer, t listPackage) (*Package, error) {
+	pkg := &Package{PkgPath: t.ImportPath, Fset: fset}
+	var compiled []*ast.File
+	parse := func(names []string, test bool) error {
+		for _, name := range names {
+			path := filepath.Join(t.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("parsing %s: %v", path, err)
+			}
+			pkg.Files = append(pkg.Files, &File{Name: path, AST: f, Test: test})
+			if !test {
+				compiled = append(compiled, f)
+			}
+		}
+		return nil
+	}
+	if err := parse(t.GoFiles, false); err != nil {
+		return nil, err
+	}
+	if err := parse(t.TestGoFiles, true); err != nil {
+		return nil, err
+	}
+	if err := parse(t.XTestGoFiles, true); err != nil {
+		return nil, err
+	}
+	if len(compiled) > 0 {
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		if _, err := conf.Check(t.ImportPath, fset, compiled, info); err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkg.Info = info
+	}
+	return pkg, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

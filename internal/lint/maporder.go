@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var maporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iterations whose order escapes: float accumulation, " +
+		"appends that are never sorted, and telemetry/output emission " +
+		"inside a for-range over a map",
+	NeedsTypes: true,
+	Run:        runMapOrder,
+}
+
+// defaultSinks are the packages whose calls count as order-sensitive
+// emission when made inside a map iteration: spans/metrics must arrive in
+// a deterministic order for byte-identical dumps, and printed output must
+// not depend on map order.
+var defaultSinks = []string{"aquatope/internal/telemetry", "fmt"}
+
+func runMapOrder(pkg *Package, file *File, rule Rule, report Reporter) {
+	sinks := rule.Sinks
+	if len(sinks) == 0 {
+		sinks = defaultSinks
+	}
+	info := pkg.Info
+	var stack []ast.Node
+	ast.Inspect(file.AST, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok && isMapType(info, rs.X) {
+			checkMapRange(info, rs, enclosingFuncBody(stack), sinks, report)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// enclosingFuncBody returns the body of the innermost function literal or
+// declaration on the traversal stack (nil at file scope).
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRange(info *types.Info, rs *ast.RangeStmt, encl *ast.BlockStmt, sinks []string, report Reporter) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkAccumulation(info, rs, st, report)
+			checkAppendEscape(info, rs, st, encl, report)
+		case *ast.ExprStmt:
+			// Emission is a call in statement position (hist.Observe,
+			// fmt.Printf). A call whose result feeds an expression is a
+			// read, not an emission.
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				checkSinkEmission(info, call, sinks, report)
+			}
+		case *ast.DeferStmt:
+			checkSinkEmission(info, st.Call, sinks, report)
+		case *ast.GoStmt:
+			checkSinkEmission(info, st.Call, sinks, report)
+		}
+		return true
+	})
+}
+
+// rangeVarObjects returns the objects bound to the range statement's key
+// and value variables.
+func rangeVarObjects(info *types.Info, rs *ast.RangeStmt) []types.Object {
+	var objs []types.Object
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			objs = append(objs, obj)
+		} else if obj := info.Uses[id]; obj != nil {
+			objs = append(objs, obj)
+		}
+	}
+	return objs
+}
+
+// perKeyTarget reports whether the assignment target is indexed by one of
+// the loop's range variables (m[k] op= v, out[k] = append(out[k], x)):
+// each iteration then touches its own cell, which is order-independent.
+func perKeyTarget(info *types.Info, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	for _, obj := range rangeVarObjects(info, rs) {
+		if usesObject(info, idx.Index, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAccumulation flags `sum += v` (and `sum = sum + v`) where sum is a
+// float declared outside the loop: float addition is not associative, so
+// the total depends on map iteration order.
+func checkAccumulation(info *types.Info, rs *ast.RangeStmt, st *ast.AssignStmt, report Reporter) {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return
+	}
+	lhs := st.Lhs[0]
+	if !isFloat(info.TypeOf(lhs)) {
+		return
+	}
+	obj := lhsObject(info, lhs)
+	if obj == nil || !declaredOutside(obj, rs) || perKeyTarget(info, rs, lhs) {
+		return
+	}
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		report(st.Pos(), "float accumulation into %s across an unordered map iteration is order-dependent; iterate over sorted keys", objName(obj, lhs))
+	case token.ASSIGN:
+		if usesObject(info, st.Rhs[0], obj) {
+			report(st.Pos(), "float accumulation into %s across an unordered map iteration is order-dependent; iterate over sorted keys", objName(obj, lhs))
+		}
+	}
+}
+
+// checkAppendEscape flags `xs = append(xs, ...)` where xs is declared
+// outside the loop and is never passed to sort/slices afterwards in the
+// enclosing function: the slice's element order is the map's iteration
+// order, which escapes the loop.
+func checkAppendEscape(info *types.Info, rs *ast.RangeStmt, st *ast.AssignStmt, encl *ast.BlockStmt, report Reporter) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, rhs := range st.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fid.Name != "append" {
+			continue
+		}
+		obj := lhsObject(info, st.Lhs[i])
+		if obj == nil || !declaredOutside(obj, rs) || perKeyTarget(info, rs, st.Lhs[i]) {
+			continue
+		}
+		if sortedAfter(info, obj, rs, encl) {
+			continue
+		}
+		report(st.Pos(), "append to %s inside an unordered map iteration lets map order escape; sort the slice afterwards or iterate over sorted keys", objName(obj, st.Lhs[i]))
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices call after
+// the range statement within the enclosing function body — the canonical
+// collect-then-sort idiom, which is deterministic.
+func sortedAfter(info *types.Info, obj types.Object, rs *ast.RangeStmt, encl *ast.BlockStmt) bool {
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkSinkEmission flags calls into sink packages (telemetry, fmt's
+// print family) made inside the loop: spans, metric observations and
+// printed rows would be emitted in map order.
+func checkSinkEmission(info *types.Info, call *ast.CallExpr, sinks []string, report Reporter) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	path, name := calleePackage(info, sel)
+	if path == "" {
+		return
+	}
+	// Only fmt's printing functions emit; Sprintf and friends are pure.
+	if path == "fmt" && !strings.HasPrefix(name, "Print") && !strings.HasPrefix(name, "Fprint") {
+		return
+	}
+	for _, s := range sinks {
+		if matchGlob(s, path) {
+			report(call.Pos(), "%s.%s called inside an unordered map iteration emits in map order; iterate over sorted keys", shortPkg(path), name)
+			return
+		}
+	}
+}
+
+// calleePackage resolves the package path and name of a selector call:
+// either a package-level function (fmt.Println) or a method whose
+// receiver type is declared in that package (hist.Observe).
+func calleePackage(info *types.Info, sel *ast.SelectorExpr) (path, name string) {
+	if s, ok := info.Selections[sel]; ok {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path(), s.Obj().Name()
+		}
+		return "", ""
+	}
+	if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+		if _, ok := obj.(*types.Func); ok {
+			return obj.Pkg().Path(), obj.Name()
+		}
+	}
+	return "", ""
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// lhsObject resolves the variable object at the root of an assignment
+// target (sum, s.total, xs[i] -> xs).
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// declaredOutside reports whether obj is declared outside the range
+// statement (package scope counts as outside).
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+func objName(obj types.Object, e ast.Expr) string {
+	if obj != nil {
+		return obj.Name()
+	}
+	return types.ExprString(e)
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean enforces the acceptance bar for the lint gate: the
+// whole repository must pass every analyzer under the default policy with
+// zero un-annotated findings. It exercises the real loader (go list +
+// export-data type-checking), so it is also the loader's integration
+// test.
+func TestRepoIsLintClean(t *testing.T) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Skip("not running inside a module")
+	}
+	root := filepath.Dir(gomod)
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader found no packages")
+	}
+	var typed int
+	for _, p := range pkgs {
+		if p.Info != nil {
+			typed++
+		}
+	}
+	if typed == 0 {
+		t.Fatal("loader type-checked no packages; maporder and droppederr would be inert")
+	}
+	for _, f := range Run(pkgs, DefaultConfig()) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,21 @@
+package fixture
+
+// Malformed escape hatches are themselves findings: a suppression without
+// a reason (or naming no known check) is exactly the silent opt-out the
+// tool exists to prevent. The directive test asserts that the four
+// malformed directives below are reported and the valid one is not.
+
+//aqualint:allow wallclock a valid directive: known check plus a reason
+func directiveOK() {}
+
+//aqualint:allow
+func directiveMissingCheck() {}
+
+//aqualint:allow wallclock
+func directiveMissingReason() {}
+
+//aqualint:allow nosuchcheck because reasons
+func directiveUnknownCheck() {}
+
+//aqualint:disable wallclock forever
+func directiveUnknownVerb() {}

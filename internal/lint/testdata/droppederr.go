@@ -1,0 +1,39 @@
+package fixture
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func failWithValue() (int, error) { return 0, errors.New("boom") }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func droppederrPositives() {
+	fail()          // want droppederr
+	failWithValue() // want droppederr
+	defer fail()    // want droppederr
+	go fail()       // want droppederr
+	var c closer
+	c.Close() // want droppederr
+}
+
+func droppederrNegatives() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	// An explicit blank assignment is a visible, reviewable discard.
+	_ = fail()
+	n, _ := failWithValue()
+	_ = n
+	// Calls without an error result are not the analyzer's business.
+	noErr()
+	return nil
+}
+
+func noErr() {}
+
+func droppederrAllowed() {
+	fail() //aqualint:allow droppederr fixture demonstrating the escape hatch
+}

@@ -1,0 +1,14 @@
+package fixture
+
+import "math/rand"
+
+func globalrandPositives() {
+	_ = rand.Intn(6)                   // want globalrand
+	_ = rand.Float64()                 // want globalrand
+	rand.Shuffle(3, func(i, j int) {}) // want globalrand
+	_ = rand.New(rand.NewSource(1))    // want globalrand // want globalrand
+}
+
+func globalrandAllowed() {
+	_ = rand.Int() //aqualint:allow globalrand fixture demonstrating the escape hatch
+}

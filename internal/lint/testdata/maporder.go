@@ -1,0 +1,83 @@
+package fixture
+
+import "sort"
+
+// recorder stands in for a telemetry sink; the test configures this
+// package as the maporder sink path.
+type recorder struct{}
+
+func (recorder) Observe(float64) {}
+
+func (recorder) Value() float64 { return 0 }
+
+func maporderFloatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maporder
+	}
+	var prod float64 = 1
+	for _, v := range m {
+		prod = prod * v // want maporder
+	}
+	return sum + prod
+}
+
+func maporderAppendEscape(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+
+func maporderSink(m map[string]float64) {
+	var rec recorder
+	for _, v := range m {
+		rec.Observe(v) // want maporder
+	}
+}
+
+func maporderSortedAppend(m map[string]float64) []string {
+	// The canonical fix: collect keys, then sort. Deterministic.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func maporderNegatives(m map[string]float64) (int, map[string]float64) {
+	// Integer accumulation is commutative and associative: order-safe.
+	n := 0
+	for range m {
+		n++
+		n += 2
+	}
+	// Per-key updates touch a distinct cell each iteration.
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+		out[k] += 1
+	}
+	// Reads in expression position are not emission.
+	var rec recorder
+	for k := range m {
+		out[k] = rec.Value()
+	}
+	// A slice declared inside the loop body never sees two iterations.
+	for k, v := range m {
+		pair := []float64{}
+		pair = append(pair, v)
+		out[k] = pair[0]
+	}
+	return n, out
+}
+
+func maporderAllowed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //aqualint:allow maporder fixture demonstrating the escape hatch
+	}
+	return sum
+}

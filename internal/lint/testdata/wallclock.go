@@ -1,0 +1,29 @@
+// Package fixture exercises the wallclock analyzer: simulation-driven
+// code must take time from the engine's virtual clock, never the host's.
+package fixture
+
+import "time"
+
+func wallclockPositives() {
+	_ = time.Now()                 // want wallclock
+	time.Sleep(time.Second)        // want wallclock
+	start := time.Now()            // want wallclock
+	_ = time.Since(start)          // want wallclock
+	_ = time.After(time.Second)    // want wallclock
+	_ = time.NewTimer(time.Second) // want wallclock
+}
+
+func wallclockNegatives() {
+	// Pure time arithmetic and construction are simulation-safe: they do
+	// not read the host clock.
+	d := 3 * time.Second
+	_ = d.Seconds()
+	_ = time.Unix(0, 0)
+	_ = time.Duration(42)
+}
+
+func wallclockAllowed() {
+	_ = time.Now() //aqualint:allow wallclock fixture demonstrating the trailing escape hatch
+	//aqualint:allow wallclock fixture demonstrating the standalone escape hatch
+	_ = time.Now()
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockFuncs are the package time functions that read or wait on the
+// real clock. A simulation-driven component calling any of them desyncs
+// from the engine's virtual clock and breaks same-seed reproducibility.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+}
+
+var wallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock time (time.Now/Since/Sleep/timers) in " +
+		"simulation-driven code; all time must come from the event " +
+		"engine's virtual clock",
+	Run: runWallclock,
+}
+
+func runWallclock(pkg *Package, file *File, rule Rule, report Reporter) {
+	names, dot, spec := importNames(file.AST, "time")
+	if dot {
+		report(spec.Pos(), "dot-import of time hides wall-clock calls from aqualint; import it qualified")
+		return
+	}
+	if len(names) == 0 {
+		return
+	}
+	ast.Inspect(file.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || !names[id.Name] || !wallclockFuncs[sel.Sel.Name] {
+			return true
+		}
+		report(call.Pos(), "time.%s reads the wall clock; simulation time must come from the engine's virtual clock (sim.Engine.Now)", sel.Sel.Name)
+		return true
+	})
+}

@@ -109,7 +109,7 @@ func (c *Collector) WriteJSONLFile(path string) error {
 		return err
 	}
 	if err := c.WriteJSONL(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return fmt.Errorf("telemetry: writing %s: %w", path, err)
 	}
 	return f.Close()

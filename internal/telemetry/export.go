@@ -114,7 +114,7 @@ func (r *Registry) WriteJSONFile(path string) error {
 		return err
 	}
 	if err := r.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return fmt.Errorf("telemetry: writing %s: %w", path, err)
 	}
 	return f.Close()
