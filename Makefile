@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmtcheck lint test bench
+.PHONY: verify build vet fmtcheck lint test bench microbench
 
 # Tier-1 gate: build everything, vet, check formatting, lint the
 # determinism invariants, and run the full test suite with the race
@@ -30,5 +30,12 @@ vet:
 test:
 	$(GO) test ./...
 
+# bench regenerates the evaluation suite at quick scale with the parallel
+# replication engine at its default worker count (GOMAXPROCS) and records
+# per-experiment wall/busy timing and speedup — the repo's performance
+# trajectory for the harness.
 bench:
+	$(GO) run ./cmd/aquabench -exp all -scale quick -bench-out BENCH_aquabench.json
+
+microbench:
 	$(GO) test -bench=. -benchtime=1x ./...

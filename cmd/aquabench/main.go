@@ -1,110 +1,135 @@
 // Command aquabench regenerates every table and figure of the paper's
-// evaluation (§8). Each experiment prints the same rows/series the paper
-// reports; absolute numbers come from the simulated substrate, so compare
-// shapes and orderings, not raw values (see EXPERIMENTS.md).
+// evaluation (§8) by iterating the experiments registry. Each experiment
+// prints the same rows/series the paper reports; absolute numbers come from
+// the simulated substrate, so compare shapes and orderings, not raw values
+// (see EXPERIMENTS.md).
+//
+// Replications fan out across -parallel workers; any worker count produces
+// byte-identical stdout (timing lines go to stderr).
 //
 // Usage:
 //
-//	aquabench -exp table1            # one experiment
-//	aquabench -exp all               # everything
-//	aquabench -exp fig13 -scale full # paper-scale repetitions
+//	aquabench -list                   # registered experiments
+//	aquabench -exp table1             # one experiment
+//	aquabench -exp all                # everything
+//	aquabench -exp fig13 -scale full  # paper-scale repetitions
+//	aquabench -exp all -format json   # mechanical output
+//	aquabench -exp all -bench-out BENCH_aquabench.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"aquatope/internal/experiments"
+	"aquatope/internal/experiments/runner"
 	"aquatope/internal/telemetry"
 )
 
-var experimentOrder = []string{
-	"table1", "fig9", "fig10", "fig11", "fig12", "fig13",
-	"fig14a", "fig14b", "fig15", "fig16", "fig17", "fig18",
-	"ablation-batch", "ablation-headroom", "ablation-mc", "chaos",
+// benchReport is the -bench-out file layout: the repo's performance
+// trajectory for the evaluation harness.
+type benchReport struct {
+	Scale            string         `json:"scale"`
+	Parallel         int            `json:"parallel"`
+	Workers          int            `json:"workers"`
+	GOMAXPROCS       int            `json:"gomaxprocs"`
+	Seed             int64          `json:"seed"`
+	TotalWallSeconds float64        `json:"total_wall_seconds"`
+	Experiments      []runner.Entry `json:"experiments"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, fig9..fig18, all)")
+	exp := flag.String("exp", "all", "experiment id (see -list), or all")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick | full")
 	seed := flag.Int64("seed", 1, "global random seed")
+	parallel := flag.Int("parallel", 0, "replication workers per experiment (0 = GOMAXPROCS, 1 = serial)")
+	format := flag.String("format", "table", "output format: table | json")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	traceOut := flag.String("trace-out", "", "write telemetry spans from end-to-end experiments as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metric registry snapshot as JSON to this file")
+	benchOut := flag.String("bench-out", "", "write per-experiment wall/busy timing and speedup as JSON to this file")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID(), e.Title())
+		}
+		return
+	}
+	if *format != "table" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q; available: table, json\n", *format)
+		os.Exit(2)
+	}
 
 	scale := experiments.Quick
 	if *scaleName == "full" {
 		scale = experiments.Full
 	}
 	scale.Seed = *seed
+	scale.Parallel = *parallel
 
 	var collector *telemetry.Collector
 	if *traceOut != "" {
 		collector = telemetry.NewCollector()
-		scale.Tracer = collector
+		scale.Collector = collector
 	}
 	var registry *telemetry.Registry
 	if *metricsOut != "" {
 		registry = telemetry.NewRegistry()
 		scale.Registry = registry
 	}
+	bench := runner.NewBench()
+	scale.Bench = bench
 
-	runners := map[string]func() string{
-		"table1":            func() string { return experiments.Table1(scale).Table() },
-		"fig9":              func() string { return experiments.Fig9(scale).Table() },
-		"fig10":             func() string { return experiments.Fig10(scale).Table() },
-		"fig11":             func() string { return experiments.Fig11(scale).Table() },
-		"fig12":             func() string { return experiments.Fig12(scale).Table() },
-		"fig13":             func() string { return experiments.Fig13(scale).Table() },
-		"fig14a":            func() string { return experiments.Fig14a(scale).Table() },
-		"fig14b":            func() string { return experiments.Fig14b(scale).Table() },
-		"fig15":             func() string { return experiments.Fig15(scale).Table() },
-		"fig16":             func() string { return experiments.Fig16(scale).Table() },
-		"fig17":             func() string { return experiments.Fig17(scale).Table() },
-		"fig18":             func() string { return experiments.Fig18(scale).Table() },
-		"ablation-batch":    func() string { return experiments.AblationBatchSize(scale).Table() },
-		"ablation-headroom": func() string { return experiments.AblationHeadroom(scale).Table() },
-		"ablation-mc":       func() string { return experiments.AblationMCSamples(scale).Table() },
-		"chaos":             func() string { return experiments.Chaos(scale).Table() },
-	}
-
-	titles := map[string]string{
-		"table1":            "Table 1: prediction accuracy (SMAPE)",
-		"fig9":              "Fig 9: cold starts and provisioned memory per pool policy",
-		"fig10":             "Fig 10: cold starts vs workload CV (IceBreaker vs Aquatope)",
-		"fig11":             "Fig 11: pool memory over time (Aquatope vs AquaLite)",
-		"fig12":             "Fig 12: cost vs search budget per workflow and manager",
-		"fig13":             "Fig 13: final CPU/memory time vs Oracle",
-		"fig14a":            "Fig 14a: cost vs chain length (CLITE vs Aquatope)",
-		"fig14b":            "Fig 14b: cost vs execution-time variability",
-		"fig15":             "Fig 15: robustness to irregular cloud noise",
-		"fig16":             "Fig 16: adaptation to workload behaviour changes",
-		"fig17":             "Fig 17: resource manager with vs without the pre-warm pool",
-		"fig18":             "Fig 18: end-to-end comparison of full frameworks",
-		"ablation-batch":    "Ablation: BO batch size q (cost vs rounds)",
-		"ablation-headroom": "Ablation: pool uncertainty headroom z (cold vs memory)",
-		"ablation-mc":       "Ablation: MC-dropout passes T",
-	}
-
-	var ids []string
+	var targets []experiments.Experiment
 	if *exp == "all" {
-		ids = experimentOrder
+		targets = experiments.All()
 	} else {
-		if _, ok := runners[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", *exp, experimentOrder)
+		e, ok := experiments.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", *exp)
+			for _, reg := range experiments.All() {
+				fmt.Fprintf(os.Stderr, "  %-18s %s\n", reg.ID(), reg.Title())
+			}
 			os.Exit(2)
 		}
-		ids = []string{*exp}
+		targets = []experiments.Experiment{e}
 	}
 
-	for _, id := range ids {
+	workers := scale.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	suiteStart := time.Now() //aqualint:allow wallclock benchmark harness reports real elapsed time, not simulated time
+	var jsonResults []experiments.ResultJSON
+	for _, e := range targets {
 		start := time.Now() //aqualint:allow wallclock benchmark harness reports real elapsed time per experiment, not simulated time
-		fmt.Printf("=== %s ===\n", titles[id])
-		fmt.Print(runners[id]())
+		r := e.Run(scale)
+		if *format == "json" {
+			jsonResults = append(jsonResults, experiments.MarshalResult(e, r))
+		} else {
+			fmt.Printf("=== %s ===\n", e.Title())
+			fmt.Print(r.Table())
+			fmt.Println()
+		}
+		// Timing goes to stderr so stdout stays byte-identical run to run.
 		//aqualint:allow wallclock real elapsed time of the experiment run
-		fmt.Printf("(%s, scale=%s, %.1fs)\n\n", id, *scaleName, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "(%s, scale=%s, workers=%d, %.1fs)\n", e.ID(), *scaleName, workers, time.Since(start).Seconds())
+	}
+	totalWall := time.Since(suiteStart).Seconds() //aqualint:allow wallclock benchmark harness reports real elapsed time, not simulated time
+
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResults); err != nil {
+			fmt.Fprintln(os.Stderr, "writing results:", err)
+			os.Exit(1)
+		}
 	}
 
 	if collector != nil {
@@ -112,13 +137,33 @@ func main() {
 			fmt.Fprintln(os.Stderr, "writing trace:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d spans to %s\n", collector.Len(), *traceOut)
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", collector.Len(), *traceOut)
 	}
 	if registry != nil {
 		if err := registry.WriteJSONFile(*metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "writing metrics:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
+	}
+	if *benchOut != "" {
+		report := benchReport{
+			Scale:            *scaleName,
+			Parallel:         *parallel,
+			Workers:          workers,
+			GOMAXPROCS:       runtime.GOMAXPROCS(0),
+			Seed:             *seed,
+			TotalWallSeconds: totalWall,
+			Experiments:      bench.Entries(),
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "writing bench report:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote bench report to %s\n", *benchOut)
 	}
 }

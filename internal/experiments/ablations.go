@@ -5,6 +5,7 @@ import (
 
 	"aquatope/internal/apps"
 	"aquatope/internal/bo"
+	"aquatope/internal/experiments/runner"
 	"aquatope/internal/faas"
 	"aquatope/internal/pool"
 	"aquatope/internal/resource"
@@ -23,46 +24,83 @@ type AblationBatchResult struct {
 
 // Table renders the sweep.
 func (r AblationBatchResult) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r AblationBatchResult) Rows() ([]string, [][]string) {
 	rows := make([][]string, len(r.Q))
 	for i := range r.Q {
 		rows[i] = []string{fmt.Sprintf("q=%d", r.Q[i]), f0(r.CostPct[i]) + "%", f0(r.Iterations[i])}
 	}
-	return formatTable([]string{"Batch", "Cost(%Oracle)", "Rounds"}, rows)
+	return []string{"Batch", "Cost(%Oracle)", "Rounds"}, rows
+}
+
+// ablationBatchRep is one (q, repetition) search outcome.
+type ablationBatchRep struct {
+	cost, rounds float64
+	feasible     bool
 }
 
 // AblationBatchSize runs the Aquatope engine on the ML pipeline with batch
-// sizes 1, 3 and 6 under the same total sample budget.
+// sizes 1, 3 and 6 under the same total sample budget. Replications: the
+// oracle solve plus one search per (q, repetition).
 func AblationBatchSize(s Scale) AblationBatchResult {
-	a := apps.NewMLPipeline()
-	space := resource.NewSpace(a)
-	_, oracleCost, _, _, ok := solveOracle(a, s.Seed)
-	if !ok {
+	eng := s.engine("ablation-batch")
+	oracles := runner.MustRun(eng, oracleJobs(s, []string{"ml-pipeline"},
+		func(int) *apps.App { return apps.NewMLPipeline() }))
+	if !oracles[0].ok {
 		return AblationBatchResult{}
 	}
-	evalProf := resource.NewProfiler(a, s.Seed+500)
+	oracleCost := oracles[0].cost
+
+	qs := []int{1, 3, 6}
+	var jobs []runner.Job[ablationBatchRep]
+	for _, q := range qs {
+		q := q
+		for rep := 0; rep < s.Repeats; rep++ {
+			rep := rep
+			jobs = append(jobs, runner.Job[ablationBatchRep]{
+				Cell: fmt.Sprintf("q%d", q), Rep: rep,
+				Run: func(runner.Ctx) (ablationBatchRep, error) {
+					a := apps.NewMLPipeline()
+					space := resource.NewSpace(a)
+					seed := s.Seed + int64(rep)*53
+					prof := resource.NewProfiler(a, seed)
+					prof.Noise = profileNoise
+					opt := bo.New(bo.Config{Dim: space.Dim(), QoS: a.QoS, Seed: seed, BatchSize: q})
+					m := &resource.BOManager{Label: "aquatope", Space: space, Profiler: prof, Opt: opt}
+					rounds := 0
+					for m.Samples() < s.SearchBudget {
+						if m.Step() == 0 {
+							break
+						}
+						rounds++
+					}
+					cfg, _, okB := m.Best()
+					if !okB {
+						return ablationBatchRep{}, nil
+					}
+					evalProf := resource.NewProfiler(a, s.Seed+500)
+					c, feasible := evalTrue(evalProf, cfg, a.QoS)
+					return ablationBatchRep{cost: c, rounds: float64(rounds), feasible: feasible}, nil
+				}})
+		}
+	}
+	out := runner.MustRun(eng, jobs)
+
 	res := AblationBatchResult{}
-	for _, q := range []int{1, 3, 6} {
+	ji := 0
+	for _, q := range qs {
+		reps := out[ji : ji+s.Repeats]
+		ji += s.Repeats
 		var sumCost, sumRounds float64
 		n := 0
-		for rep := 0; rep < s.Repeats; rep++ {
-			seed := s.Seed + int64(rep)*53
-			prof := resource.NewProfiler(a, seed)
-			prof.Noise = profileNoise
-			eng := bo.New(bo.Config{Dim: space.Dim(), QoS: a.QoS, Seed: seed, BatchSize: q})
-			m := &resource.BOManager{Label: "aquatope", Space: space, Profiler: prof, Opt: eng}
-			rounds := 0
-			for m.Samples() < s.SearchBudget {
-				if m.Step() == 0 {
-					break
-				}
-				rounds++
-			}
-			if cfg, _, okB := m.Best(); okB {
-				if c, feasible := evalTrue(evalProf, cfg, a.QoS); feasible {
-					sumCost += c
-					sumRounds += float64(rounds)
-					n++
-				}
+		for _, r := range reps {
+			if r.feasible {
+				sumCost += r.cost
+				sumRounds += r.rounds
+				n++
 			}
 		}
 		if n == 0 {
@@ -88,35 +126,66 @@ type AblationHeadroomResult struct {
 
 // Table renders the trade-off curve.
 func (r AblationHeadroomResult) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r AblationHeadroomResult) Rows() ([]string, [][]string) {
 	rows := make([][]string, len(r.Z))
 	for i := range r.Z {
 		rows[i] = []string{fmt.Sprintf("z=%.1f", r.Z[i]), pct(r.ColdRate[i]), f0(r.MemGBs[i])}
 	}
-	return formatTable([]string{"Headroom", "ColdStart", "MemGBs"}, rows)
+	return []string{"Headroom", "ColdStart", "MemGBs"}, rows
 }
 
-// AblationHeadroom replays a periodic trace under the Aquatope pool with
-// growing headroom.
-func AblationHeadroom(s Scale) AblationHeadroomResult {
-	tr := trace.SynthesizePeriodic(trace.PeriodicGenConfig{
+// ablationTrace synthesizes the shared periodic workload for the pool
+// ablations (seedOffset distinguishes the two sweeps' traces).
+func ablationTrace(s Scale, seedOffset int64) *trace.Trace {
+	return trace.SynthesizePeriodic(trace.PeriodicGenConfig{
 		DurationMin: s.TraceMin, PeriodMin: 30, JitterFrac: 0.12,
-		ClumpMean: 2.5, Diurnal: 0.5, Seed: s.Seed + 31,
+		ClumpMean: 2.5, Diurnal: 0.5, Seed: s.Seed + seedOffset,
 	})
+}
+
+// ablationModel is the pool ablations' performance profile.
+func ablationModel() *faas.SyntheticModel {
 	model := faas.DefaultSyntheticModel()
 	model.BaseExecSec = 6
 	model.ColdInitSec = 3
+	return model
+}
+
+// ablationPoolCell is one pool-replay replication's outcome.
+type ablationPoolCell struct {
+	coldRate, memGBs float64
+}
+
+// AblationHeadroom replays a periodic trace under the Aquatope pool with
+// growing headroom. Each z is one replication.
+func AblationHeadroom(s Scale) AblationHeadroomResult {
+	zs := []float64{0.5, 1, 2, 3, 4}
+	jobs := make([]runner.Job[ablationPoolCell], len(zs))
+	for i, z := range zs {
+		z := z
+		jobs[i] = runner.Job[ablationPoolCell]{Cell: fmt.Sprintf("z%.1f", z),
+			Run: func(runner.Ctx) (ablationPoolCell, error) {
+				p := s.aquatopePolicy(false)
+				p.HeadroomZ = z
+				r := pool.Run(pool.RunConfig{
+					Trace: ablationTrace(s, 31), TrainMin: s.TrainMin, Model: ablationModel(),
+					Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
+					Policy:    p, Seed: s.Seed,
+				})
+				return ablationPoolCell{coldRate: r.ColdRate, memGBs: r.ProvisionedMemGBs}, nil
+			}}
+	}
+	cells := runner.MustRun(s.engine("ablation-headroom"), jobs)
+
 	res := AblationHeadroomResult{}
-	for _, z := range []float64{0.5, 1, 2, 3, 4} {
-		p := s.aquatopePolicy(false)
-		p.HeadroomZ = z
-		r := pool.Run(pool.RunConfig{
-			Trace: tr, TrainMin: s.TrainMin, Model: model,
-			Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
-			Policy:    p, Seed: s.Seed,
-		})
+	for i, z := range zs {
 		res.Z = append(res.Z, z)
-		res.ColdRate = append(res.ColdRate, r.ColdRate)
-		res.MemGBs = append(res.MemGBs, r.ProvisionedMemGBs)
+		res.ColdRate = append(res.ColdRate, cells[i].coldRate)
+		res.MemGBs = append(res.MemGBs, cells[i].memGBs)
 	}
 	return res
 }
@@ -133,34 +202,44 @@ type AblationMCSamplesResult struct {
 
 // Table renders the sweep.
 func (r AblationMCSamplesResult) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r AblationMCSamplesResult) Rows() ([]string, [][]string) {
 	rows := make([][]string, len(r.T))
 	for i := range r.T {
 		rows[i] = []string{fmt.Sprintf("T=%d", r.T[i]), pct(r.ColdRate[i]), f0(r.MemGBs[i])}
 	}
-	return formatTable([]string{"MCSamples", "ColdStart", "MemGBs"}, rows)
+	return []string{"MCSamples", "ColdStart", "MemGBs"}, rows
 }
 
-// AblationMCSamples varies T on the same periodic workload.
+// AblationMCSamples varies T on the same periodic workload. Each T is one
+// replication.
 func AblationMCSamples(s Scale) AblationMCSamplesResult {
-	tr := trace.SynthesizePeriodic(trace.PeriodicGenConfig{
-		DurationMin: s.TraceMin, PeriodMin: 30, JitterFrac: 0.12,
-		ClumpMean: 2.5, Diurnal: 0.5, Seed: s.Seed + 37,
-	})
-	model := faas.DefaultSyntheticModel()
-	model.BaseExecSec = 6
-	model.ColdInitSec = 3
+	ts := []int{1, 5, 15, 30}
+	jobs := make([]runner.Job[ablationPoolCell], len(ts))
+	for i, T := range ts {
+		T := T
+		jobs[i] = runner.Job[ablationPoolCell]{Cell: fmt.Sprintf("T%d", T),
+			Run: func(runner.Ctx) (ablationPoolCell, error) {
+				p := s.aquatopePolicy(false)
+				p.ModelConfig.MCSamples = T
+				r := pool.Run(pool.RunConfig{
+					Trace: ablationTrace(s, 37), TrainMin: s.TrainMin, Model: ablationModel(),
+					Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
+					Policy:    p, Seed: s.Seed,
+				})
+				return ablationPoolCell{coldRate: r.ColdRate, memGBs: r.ProvisionedMemGBs}, nil
+			}}
+	}
+	cells := runner.MustRun(s.engine("ablation-mc"), jobs)
+
 	res := AblationMCSamplesResult{}
-	for _, T := range []int{1, 5, 15, 30} {
-		p := s.aquatopePolicy(false)
-		p.ModelConfig.MCSamples = T
-		r := pool.Run(pool.RunConfig{
-			Trace: tr, TrainMin: s.TrainMin, Model: model,
-			Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
-			Policy:    p, Seed: s.Seed,
-		})
+	for i, T := range ts {
 		res.T = append(res.T, T)
-		res.ColdRate = append(res.ColdRate, r.ColdRate)
-		res.MemGBs = append(res.MemGBs, r.ProvisionedMemGBs)
+		res.ColdRate = append(res.ColdRate, cells[i].coldRate)
+		res.MemGBs = append(res.MemGBs, cells[i].memGBs)
 	}
 	return res
 }

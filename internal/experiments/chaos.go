@@ -6,6 +6,7 @@ import (
 	"aquatope/internal/apps"
 	"aquatope/internal/chaos"
 	"aquatope/internal/core"
+	"aquatope/internal/experiments/runner"
 	"aquatope/internal/faas"
 	"aquatope/internal/trace"
 	"aquatope/internal/workflow"
@@ -31,6 +32,11 @@ func chaosKey(rate float64, policy string) string {
 
 // Table renders one row per (fault rate, policy) cell.
 func (r ChaosResult) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r ChaosResult) Rows() ([]string, [][]string) {
 	var rows [][]string
 	base := make(map[float64]float64)
 	for _, rate := range r.Rates {
@@ -55,16 +61,88 @@ func (r ChaosResult) Table() string {
 			})
 		}
 	}
-	return formatTable(
-		[]string{"FaultRate", "Policy", "QoSViol", "Recovered", "Goodput", "Retries", "Hedges", "Cost"},
-		rows)
+	return []string{"FaultRate", "Policy", "QoSViol", "Recovered", "Goodput", "Retries", "Hedges", "Cost"}, rows
+}
+
+// chaosApp builds the sweep's application with adequate per-function
+// configurations installed up front (the sweep runs no resource search):
+// enough memory to clear each stage's knee and headroom CPU, so the warm
+// path comfortably meets QoS and violations measure fault damage, not
+// misconfiguration. Each replication constructs its own copy — the Defaults
+// assignment mutates the App, so sharing one across jobs would race.
+func chaosApp() *apps.App {
+	app := apps.NewMLPipeline()
+	app.Defaults = map[string]faas.ResourceConfig{
+		"ml-imgproc":   {CPU: 1, MemoryMB: 256},
+		"ml-objdetect": {CPU: 2, MemoryMB: 2048},
+		"ml-vehicle":   {CPU: 2, MemoryMB: 1024},
+		"ml-human":     {CPU: 2, MemoryMB: 1024},
+	}
+	return app
+}
+
+// chaosTrace is the sweep workload: a dense diurnal trace that keeps the
+// keep-alive pool warm, so baseline QoS violations reflect the injected
+// faults rather than cold starts.
+func chaosTrace(s Scale) *trace.Trace {
+	return trace.Synthesize(trace.GenConfig{
+		DurationMin:          s.TraceMin,
+		MeanRatePerMin:       0.8,
+		Diurnal:              0.6,
+		CV:                   2,
+		BurstEpisodesPerHour: 1,
+		BurstDurationMin:     10,
+		BurstMultiplier:      6,
+		Seed:                 s.Seed + 77,
+	})
+}
+
+// chaosScenario builds the seeded fault scenario for one sweep rate: a
+// fault-rates window (init failures + mid-execution kills) covering most of
+// the run plus one invoker crash in the test window.
+func chaosScenario(s Scale, rate float64) chaos.Scenario {
+	horizon := float64(s.TraceMin) * 60
+	return chaos.Scenario{Name: fmt.Sprintf("sweep-%.2f", rate), Faults: []chaos.Fault{
+		{Kind: chaos.KindFaultRates, At: 0.05 * horizon, Duration: 0.90 * horizon,
+			Rates: faas.FaultRates{InitFailure: rate, ExecKill: rate}},
+		{Kind: chaos.KindInvokerCrash, Invoker: 1,
+			At:       float64(s.TrainMin)*60 + 0.25*(horizon-float64(s.TrainMin)*60),
+			Duration: 0.10 * horizon},
+	}}
+}
+
+// chaosPolicy builds the retry policy for one sweep column. The per-attempt
+// timeout stays well above the QoS: a timeout kills the attempt's container
+// (wedged executions do not come back), so an aggressive deadline near the
+// burst-time latency destroys warm capacity and collapses the cluster.
+// In-deadline recovery of slow attempts comes from the hedge instead, which
+// races a duplicate without killing anything.
+func chaosPolicy(polName string, qos float64) *workflow.RetryPolicy {
+	switch polName {
+	case "retry":
+		p := workflow.DefaultRetryPolicy()
+		p.Timeout = 2 * qos
+		return &p
+	case "retry+hedge":
+		p := workflow.DefaultRetryPolicy()
+		p.Timeout = 2 * qos
+		p.HedgeDelay = qos / 2
+		p.MaxAttempts = 4
+		return &p
+	}
+	return nil
+}
+
+// chaosCell is one (fault rate, policy) replication's outcome.
+type chaosCell struct {
+	violation, goodput, cost float64
+	retries, hedges          int
 }
 
 // Chaos sweeps injected fault rate × retry policy on one application under
 // the provider keep-alive pool (no resource search — the sweep isolates the
-// resilience layer). Each cell runs the same seeded scenario: a fault-rates
-// window (init failures + mid-execution kills) covering most of the run
-// plus one invoker crash in the test window.
+// resilience layer). Each (rate, policy) cell is one replication running
+// the same seeded scenario.
 func Chaos(s Scale) ChaosResult {
 	res := ChaosResult{
 		Rates:     []float64{0.0, 0.02, 0.05, 0.10},
@@ -75,76 +153,49 @@ func Chaos(s Scale) ChaosResult {
 		Retries:   make(map[string]int),
 		Hedges:    make(map[string]int),
 	}
-	app := apps.NewMLPipeline()
-	// Install adequate per-function configurations up front (the sweep runs
-	// no resource search): enough memory to clear each stage's knee and
-	// headroom CPU, so the warm path comfortably meets QoS and violations
-	// measure fault damage, not misconfiguration.
-	app.Defaults = map[string]faas.ResourceConfig{
-		"ml-imgproc":   {CPU: 1, MemoryMB: 256},
-		"ml-objdetect": {CPU: 2, MemoryMB: 2048},
-		"ml-vehicle":   {CPU: 2, MemoryMB: 1024},
-		"ml-human":     {CPU: 2, MemoryMB: 1024},
-	}
-	// A dense diurnal trace keeps the keep-alive pool warm, so baseline QoS
-	// violations reflect the injected faults rather than cold starts.
-	tr := trace.Synthesize(trace.GenConfig{
-		DurationMin:          s.TraceMin,
-		MeanRatePerMin:       0.8,
-		Diurnal:              0.6,
-		CV:                   2,
-		BurstEpisodesPerHour: 1,
-		BurstDurationMin:     10,
-		BurstMultiplier:      6,
-		Seed:                 s.Seed + 77,
-	})
-	horizon := float64(s.TraceMin) * 60
+	var jobs []runner.Job[chaosCell]
 	for _, rate := range res.Rates {
-		scn := chaos.Scenario{Name: fmt.Sprintf("sweep-%.2f", rate), Faults: []chaos.Fault{
-			{Kind: chaos.KindFaultRates, At: 0.05 * horizon, Duration: 0.90 * horizon,
-				Rates: faas.FaultRates{InitFailure: rate, ExecKill: rate}},
-			{Kind: chaos.KindInvokerCrash, Invoker: 1,
-				At:       float64(s.TrainMin)*60 + 0.25*(horizon-float64(s.TrainMin)*60),
-				Duration: 0.10 * horizon},
-		}}
+		rate := rate
 		for _, polName := range res.Policies {
-			var pol *workflow.RetryPolicy
-			switch polName {
-			// The per-attempt timeout stays well above the QoS: a timeout
-			// kills the attempt's container (wedged executions do not come
-			// back), so an aggressive deadline near the burst-time latency
-			// destroys warm capacity and collapses the cluster. In-deadline
-			// recovery of slow attempts comes from the hedge instead, which
-			// races a duplicate without killing anything.
-			case "retry":
-				p := workflow.DefaultRetryPolicy()
-				p.Timeout = 2 * app.QoS
-				pol = &p
-			case "retry+hedge":
-				p := workflow.DefaultRetryPolicy()
-				p.Timeout = 2 * app.QoS
-				p.HedgeDelay = app.QoS / 2
-				p.MaxAttempts = 4
-				pol = &p
-			}
-			out, err := core.Run(core.Config{
-				Components:   []core.Component{{App: app, Trace: tr}},
-				TrainMin:     s.TrainMin,
-				PoolFactory:  core.KeepAlivePoolFactory(600),
-				RuntimeNoise: runtimeNoise,
-				Chaos:        scn,
-				Resilience:   pol,
-				Seed:         s.Seed,
-			})
-			if err != nil {
-				panic(err)
-			}
+			polName := polName
+			jobs = append(jobs, runner.Job[chaosCell]{
+				Cell: fmt.Sprintf("rate%.2f/%s", rate, polName),
+				Run: func(runner.Ctx) (chaosCell, error) {
+					app := chaosApp()
+					out, err := core.Run(core.Config{
+						Components:   []core.Component{{App: app, Trace: chaosTrace(s)}},
+						TrainMin:     s.TrainMin,
+						PoolFactory:  core.KeepAlivePoolFactory(600),
+						RuntimeNoise: runtimeNoise,
+						Chaos:        chaosScenario(s, rate),
+						Resilience:   chaosPolicy(polName, app.QoS),
+						Seed:         s.Seed,
+					})
+					if err != nil {
+						return chaosCell{}, err
+					}
+					return chaosCell{
+						violation: out.QoSViolationRate(),
+						goodput:   out.Goodput(),
+						cost:      out.CPUTime() + out.MemTime(),
+						retries:   out.Retries(),
+						hedges:    out.Hedges(),
+					}, nil
+				}})
+		}
+	}
+	cells := runner.MustRun(s.engine("chaos"), jobs)
+
+	ji := 0
+	for _, rate := range res.Rates {
+		for _, polName := range res.Policies {
 			k := chaosKey(rate, polName)
-			res.Violation[k] = out.QoSViolationRate()
-			res.Goodput[k] = out.Goodput()
-			res.Cost[k] = out.CPUTime() + out.MemTime()
-			res.Retries[k] = out.Retries()
-			res.Hedges[k] = out.Hedges()
+			res.Violation[k] = cells[ji].violation
+			res.Goodput[k] = cells[ji].goodput
+			res.Cost[k] = cells[ji].cost
+			res.Retries[k] = cells[ji].retries
+			res.Hedges[k] = cells[ji].hedges
+			ji++
 		}
 	}
 	return res

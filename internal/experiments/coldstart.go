@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"aquatope/internal/experiments/runner"
 	"aquatope/internal/faas"
 	"aquatope/internal/pool"
 	"aquatope/internal/timeseries"
@@ -32,44 +33,67 @@ type Fig9Result struct {
 
 // Table renders both panels.
 func (r Fig9Result) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r Fig9Result) Rows() ([]string, [][]string) {
 	rows := make([][]string, 0, len(r.Order))
 	for _, name := range r.Order {
 		rows = append(rows, []string{name, pct(r.ColdRate[name]),
 			f0(r.MemGBs[name]), f0(r.RelMemPct[name]) + "%"})
 	}
-	return formatTable([]string{"Policy", "ColdStart", "MemGBs", "Mem(%Keep)"}, rows)
+	return []string{"Policy", "ColdStart", "MemGBs", "Mem(%Keep)"}, rows
+}
+
+// fig9Rep is one (policy, ensemble member) replication's raw counts.
+type fig9Rep struct {
+	name        string
+	cold, total float64
+	memGBs      float64
 }
 
 // Fig9 replays the workload ensemble under each cold-start policy and
 // aggregates invocation-weighted cold-start rates and provisioned memory.
+// Each (policy, ensemble member) pair is one replication.
 func Fig9(s Scale) Fig9Result {
+	var jobs []runner.Job[fig9Rep]
+	for _, mk := range s.coldStartPolicies() {
+		mk := mk
+		name := mk().Name()
+		for i := 0; i < s.Ensemble; i++ {
+			i := i
+			jobs = append(jobs, runner.Job[fig9Rep]{Cell: name, Rep: i,
+				Run: func(runner.Ctx) (fig9Rep, error) {
+					r := pool.Run(pool.RunConfig{
+						Trace:     ensembleTrace(i, s.TraceMin, s.Seed),
+						TrainMin:  s.TrainMin,
+						Model:     ensembleModel(i, s.Seed),
+						Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
+						Policy:    mk(),
+						Seed:      s.Seed + int64(i),
+					})
+					return fig9Rep{name: name, cold: float64(r.ColdStarts),
+						total: float64(r.Invocations), memGBs: r.ProvisionedMemGBs}, nil
+				}})
+		}
+	}
+	reps := runner.MustRun(s.engine("fig9"), jobs)
+
 	res := Fig9Result{
 		ColdRate:  make(map[string]float64),
 		MemGBs:    make(map[string]float64),
 		RelMemPct: make(map[string]float64),
 	}
 	cold := make(map[string][2]float64) // cold, total
-	for _, mk := range s.coldStartPolicies() {
-		var name string
-		for i := 0; i < s.Ensemble; i++ {
-			p := mk()
-			name = p.Name()
-			r := pool.Run(pool.RunConfig{
-				Trace:     ensembleTrace(i, s.TraceMin, s.Seed),
-				TrainMin:  s.TrainMin,
-				Model:     ensembleModel(i, s.Seed),
-				Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
-				Policy:    p,
-				Seed:      s.Seed + int64(i),
-			})
-			c := cold[name]
-			c[0] += float64(r.ColdStarts)
-			c[1] += float64(r.Invocations)
-			cold[name] = c
-			res.MemGBs[name] += r.ProvisionedMemGBs
-		}
-		if _, seen := contains(res.Order, name); !seen {
-			res.Order = append(res.Order, name)
+	for _, rep := range reps {          // index order: deterministic float sums
+		c := cold[rep.name]
+		c[0] += rep.cold
+		c[1] += rep.total
+		cold[rep.name] = c
+		res.MemGBs[rep.name] += rep.memGBs
+		if _, seen := indexOf(res.Order, rep.name); !seen {
+			res.Order = append(res.Order, rep.name)
 		}
 	}
 	for name, c := range cold {
@@ -86,15 +110,6 @@ func Fig9(s Scale) Fig9Result {
 	return res
 }
 
-func contains(xs []string, x string) (int, bool) {
-	for i, v := range xs {
-		if v == x {
-			return i, true
-		}
-	}
-	return -1, false
-}
-
 // ---------------------------------------------------------------------------
 
 // Fig10Result compares IceBreaker and Aquatope cold-start rates across
@@ -107,44 +122,82 @@ type Fig10Result struct {
 
 // Table renders the Fig. 10 series.
 func (r Fig10Result) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r Fig10Result) Rows() ([]string, [][]string) {
 	rows := make([][]string, len(r.CVs))
 	for i := range r.CVs {
 		rows[i] = []string{f2(r.CVs[i]), pct(r.IceBrk[i]), pct(r.Aquatope[i])}
 	}
-	return formatTable([]string{"CV", "IceBreaker", "Aquatope"}, rows)
+	return []string{"CV", "IceBreaker", "Aquatope"}, rows
+}
+
+// fig10Cell is one (CV target, policy) replication: the realized trace CV
+// plus the measured cold-start rate.
+type fig10Cell struct {
+	cv, coldRate float64
+}
+
+// fig10Trace synthesizes the CV-sweep trace for one target CV.
+func fig10Trace(s Scale, cv float64) *trace.Trace {
+	return trace.Synthesize(trace.GenConfig{
+		DurationMin:          s.TraceMin,
+		MeanRatePerMin:       1.2,
+		Diurnal:              0.6,
+		CV:                   cv,
+		BurstEpisodesPerHour: 0.8 * cv / 2,
+		BurstDurationMin:     10,
+		BurstMultiplier:      4 + 2*cv,
+		Seed:                 s.Seed + int64(cv*100),
+	})
 }
 
 // Fig10 sweeps the trace coefficient of variation and measures the
-// cold-start rate of IceBreaker (best prior work) vs Aquatope.
+// cold-start rate of IceBreaker (best prior work) vs Aquatope. Each
+// (CV, policy) pair is one replication; both policies of a CV synthesize
+// the identical seeded trace independently.
 func Fig10(s Scale) Fig10Result {
-	res := Fig10Result{}
-	for _, cv := range []float64{0.25, 1, 2, 3, 4} {
-		tr := trace.Synthesize(trace.GenConfig{
-			DurationMin:          s.TraceMin,
-			MeanRatePerMin:       1.2,
-			Diurnal:              0.6,
-			CV:                   cv,
-			BurstEpisodesPerHour: 0.8 * cv / 2,
-			BurstDurationMin:     10,
-			BurstMultiplier:      4 + 2*cv,
-			Seed:                 s.Seed + int64(cv*100),
-		})
-		model := faas.DefaultSyntheticModel()
-		model.BaseExecSec = 6
-		model.ColdInitSec = 3
-		run := func(p pool.Policy) float64 {
-			return pool.Run(pool.RunConfig{
-				Trace:     tr,
-				TrainMin:  s.TrainMin,
-				Model:     model,
-				Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
-				Policy:    p,
-				Seed:      s.Seed,
-			}).ColdRate
+	cvs := []float64{0.25, 1, 2, 3, 4}
+	policies := []struct {
+		name string
+		mk   func() pool.Policy
+	}{
+		{"icebreaker", func() pool.Policy { return &pool.IceBreaker{} }},
+		{"aquatope", func() pool.Policy { return s.aquatopePolicy(false) }},
+	}
+	var jobs []runner.Job[fig10Cell]
+	for _, cv := range cvs {
+		cv := cv
+		for _, p := range policies {
+			p := p
+			jobs = append(jobs, runner.Job[fig10Cell]{
+				Cell: fmt.Sprintf("cv%.2f/%s", cv, p.name),
+				Run: func(runner.Ctx) (fig10Cell, error) {
+					tr := fig10Trace(s, cv)
+					model := faas.DefaultSyntheticModel()
+					model.BaseExecSec = 6
+					model.ColdInitSec = 3
+					r := pool.Run(pool.RunConfig{
+						Trace:     tr,
+						TrainMin:  s.TrainMin,
+						Model:     model,
+						Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
+						Policy:    p.mk(),
+						Seed:      s.Seed,
+					})
+					return fig10Cell{cv: tr.InterArrivalCV(), coldRate: r.ColdRate}, nil
+				}})
 		}
-		res.CVs = append(res.CVs, tr.InterArrivalCV())
-		res.IceBrk = append(res.IceBrk, run(&pool.IceBreaker{}))
-		res.Aquatope = append(res.Aquatope, run(s.aquatopePolicy(false)))
+	}
+	cells := runner.MustRun(s.engine("fig10"), jobs)
+
+	res := Fig10Result{}
+	for i := 0; i < len(cells); i += 2 {
+		res.CVs = append(res.CVs, cells[i].cv)
+		res.IceBrk = append(res.IceBrk, cells[i].coldRate)
+		res.Aquatope = append(res.Aquatope, cells[i+1].coldRate)
 	}
 	return res
 }
@@ -165,45 +218,57 @@ type Fig11Result struct {
 
 // Table renders a decimated series plus the summary line.
 func (r Fig11Result) Table() string {
+	out := formatTable(r.Rows())
+	out += fmt.Sprintf("cold: aquatope %s, aqualite %s\n", pct(r.AquatopeCold), pct(r.AquaLiteCold))
+	return out
+}
+
+// Rows implements Result (the decimated series; cold rates are in Data).
+func (r Fig11Result) Rows() ([]string, [][]string) {
 	rows := [][]string{}
 	for i := 0; i < len(r.ActualGB); i += 10 {
 		rows = append(rows, []string{
 			fmt.Sprintf("t+%dmin", i), f2(r.ActualGB[i]), f2(r.AquatopeGB[i]), f2(r.AquaLiteGB[i]),
 		})
 	}
-	out := formatTable([]string{"Time", "ActualGB", "AquatopeGB", "AquaLiteGB"}, rows)
-	out += fmt.Sprintf("cold: aquatope %s, aqualite %s\n", pct(r.AquatopeCold), pct(r.AquaLiteCold))
-	return out
+	return []string{"Time", "ActualGB", "AquatopeGB", "AquaLiteGB"}, rows
 }
 
 // Fig11 runs a fluctuating episodic trace under Aquatope and AquaLite and
 // records each pool's memory footprint over time alongside the actual
-// demand footprint.
+// demand footprint. The two variants are the two replications.
 func Fig11(s Scale) Fig11Result {
-	tr := trace.Synthesize(trace.GenConfig{
-		DurationMin:          s.TraceMin,
-		MeanRatePerMin:       0.8,
-		Diurnal:              0.7,
-		CV:                   2,
-		BurstEpisodesPerHour: 1.2,
-		BurstDurationMin:     12,
-		BurstMultiplier:      8,
-		Seed:                 s.Seed + 7,
-	})
-	model := faas.DefaultSyntheticModel()
-	model.BaseExecSec = 6
-	model.ColdInitSec = 3
-	resources := faas.ResourceConfig{CPU: 1, MemoryMB: 512}
-	run := func(p pool.Policy) pool.RunResult {
+	run := func(lite bool) pool.RunResult {
+		tr := trace.Synthesize(trace.GenConfig{
+			DurationMin:          s.TraceMin,
+			MeanRatePerMin:       0.8,
+			Diurnal:              0.7,
+			CV:                   2,
+			BurstEpisodesPerHour: 1.2,
+			BurstDurationMin:     12,
+			BurstMultiplier:      8,
+			Seed:                 s.Seed + 7,
+		})
+		model := faas.DefaultSyntheticModel()
+		model.BaseExecSec = 6
+		model.ColdInitSec = 3
 		return pool.Run(pool.RunConfig{
 			Trace: tr, TrainMin: s.TrainMin, Model: model,
-			Resources: resources, Policy: p, MemorySeries: true, Seed: s.Seed,
+			Resources: faas.ResourceConfig{CPU: 1, MemoryMB: 512},
+			Policy:    s.aquatopePolicy(lite), MemorySeries: true, Seed: s.Seed,
 		})
 	}
-	full := run(s.aquatopePolicy(false))
-	lite := run(s.aquatopePolicy(true))
+	jobs := []runner.Job[pool.RunResult]{
+		{Cell: "aquatope",
+			Run: func(runner.Ctx) (pool.RunResult, error) { return run(false), nil }},
+		{Cell: "aqualite",
+			Run: func(runner.Ctx) (pool.RunResult, error) { return run(true), nil }},
+	}
+	out := runner.MustRun(s.engine("fig11"), jobs)
+	full, lite := out[0], out[1]
 
 	// Actual footprint: demand series × container memory.
+	resources := faas.ResourceConfig{CPU: 1, MemoryMB: 512}
 	demand := full.DemandSeries
 	n := len(full.MemorySeriesGB)
 	if len(lite.MemorySeriesGB) < n {

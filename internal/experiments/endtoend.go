@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"aquatope/internal/core"
+	"aquatope/internal/experiments/runner"
 	"aquatope/internal/faas"
 	"aquatope/internal/pool"
 )
 
 // e2eComponents builds the end-to-end workload: the five applications,
-// each driven by an Azure-like trace of its own archetype.
+// each driven by an Azure-like trace of its own archetype. Jobs call this
+// inside their bodies — construction is deterministic, so every replication
+// sees identical components without sharing mutable state.
 func e2eComponents(s Scale) []core.Component {
 	var comps []core.Component
 	for i, a := range evalApps(s.Seed) {
@@ -40,52 +43,82 @@ type Fig17Result struct {
 
 // Table renders the comparison (full system = 100%).
 func (r Fig17Result) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r Fig17Result) Rows() ([]string, [][]string) {
 	rows := [][]string{
 		{"Prewarm + Resource Manager", "100%", "100%"},
 		{"Resource Manager Only",
 			f0(r.RMOnlyCPU/r.FullCPU*100) + "%",
 			f0(r.RMOnlyMem/r.FullMem*100) + "%"},
 	}
-	return formatTable([]string{"System", "CPU time", "Memory time"}, rows)
+	return []string{"System", "CPU time", "Memory time"}, rows
+}
+
+// e2eOutcome is one end-to-end system run's aggregate measurements.
+type e2eOutcome struct {
+	violation, cpu, mem, cold float64
+}
+
+// runE2E executes one full-system simulation and reduces it to the
+// aggregates the figures report.
+func runE2E(cfg core.Config) (e2eOutcome, error) {
+	r, err := core.Run(cfg)
+	if err != nil {
+		return e2eOutcome{}, err
+	}
+	return e2eOutcome{
+		violation: r.QoSViolationRate(),
+		cpu:       r.CPUTime(),
+		mem:       r.MemTime(),
+		cold:      r.ColdStartRate(),
+	}, nil
 }
 
 // Fig17 compares the full Aquatope against a variant with only the
 // resource manager (provider keep-alive pool; profiling forced to average
-// over cold and warm behaviour).
+// over cold and warm behaviour). The two system runs are the replications;
+// the full system's spans and metrics flow through the replication context
+// into the Scale's collector/registry.
 func Fig17(s Scale) Fig17Result {
-	comps := e2eComponents(s)
-	full, err := core.Run(core.Config{
-		Components:     comps,
-		TrainMin:       s.TrainMin,
-		PoolFactory:    s.aquatopePoolFactory(false),
-		ManagerFactory: core.AquatopeManagerFactory(),
-		SearchBudget:   s.SearchBudget,
-		ProfileNoise:   profileNoise,
-		RuntimeNoise:   runtimeNoise,
-		Tracer:         s.Tracer,
-		Registry:       s.Registry,
-		Seed:           s.Seed,
-	})
-	if err != nil {
-		panic(err)
+	jobs := []runner.Job[e2eOutcome]{
+		{Cell: "full",
+			Run: func(ctx runner.Ctx) (e2eOutcome, error) {
+				return runE2E(core.Config{
+					Components:     e2eComponents(s),
+					TrainMin:       s.TrainMin,
+					PoolFactory:    s.aquatopePoolFactory(false),
+					ManagerFactory: core.AquatopeManagerFactory(),
+					SearchBudget:   s.SearchBudget,
+					ProfileNoise:   profileNoise,
+					RuntimeNoise:   runtimeNoise,
+					Tracer:         ctx.Tracer,
+					Registry:       ctx.Registry,
+					Seed:           s.Seed,
+				})
+			}},
+		{Cell: "rm-only",
+			Run: func(runner.Ctx) (e2eOutcome, error) {
+				return runE2E(core.Config{
+					Components:        e2eComponents(s),
+					TrainMin:          s.TrainMin,
+					PoolFactory:       core.KeepAlivePoolFactory(600),
+					ManagerFactory:    core.AquatopeManagerFactory(),
+					SearchBudget:      s.SearchBudget,
+					ProfileNoise:      profileNoise,
+					RuntimeNoise:      runtimeNoise,
+					ColdStartFraction: 0.5, // forced to balance cold and warm behaviour
+					Seed:              s.Seed,
+				})
+			}},
 	}
-	rmOnly, err := core.Run(core.Config{
-		Components:        comps,
-		TrainMin:          s.TrainMin,
-		PoolFactory:       core.KeepAlivePoolFactory(600),
-		ManagerFactory:    core.AquatopeManagerFactory(),
-		SearchBudget:      s.SearchBudget,
-		ProfileNoise:      profileNoise,
-		RuntimeNoise:      runtimeNoise,
-		ColdStartFraction: 0.5, // forced to balance cold and warm behaviour
-		Seed:              s.Seed,
-	})
-	if err != nil {
-		panic(err)
-	}
+	out := runner.MustRun(s.engine("fig17"), jobs)
+	full, rmOnly := out[0], out[1]
 	return Fig17Result{
-		FullCPU: full.CPUTime(), FullMem: full.MemTime(),
-		RMOnlyCPU: rmOnly.CPUTime(), RMOnlyMem: rmOnly.MemTime(),
+		FullCPU: full.cpu, FullMem: full.mem,
+		RMOnlyCPU: rmOnly.cpu, RMOnlyMem: rmOnly.mem,
 	}
 }
 
@@ -103,6 +136,11 @@ type Fig18Result struct {
 
 // Table renders with the autoscaling framework normalized to 100%.
 func (r Fig18Result) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r Fig18Result) Rows() ([]string, [][]string) {
 	base := r.Order[0]
 	rows := [][]string{}
 	for _, name := range r.Order {
@@ -114,51 +152,60 @@ func (r Fig18Result) Table() string {
 			pct(r.ColdRate[name]),
 		})
 	}
-	return formatTable([]string{"Framework", "QoSViol", "CPU(%auto)", "Mem(%auto)", "ColdStart"}, rows)
+	return []string{"Framework", "QoSViol", "CPU(%auto)", "Mem(%auto)", "ColdStart"}, rows
 }
 
 // Fig18 runs the three frameworks — Autoscale (pool + RM), the best prior
 // combination IceBreaker+CLITE, and the full Aquatope — over all five
-// applications and traces.
+// applications and traces. Each framework is one replication; spans and
+// metrics flow through the replication contexts and merge in framework
+// order, so the span stream reads autoscale, then icebreaker+clite, then
+// aquatope — exactly as the old serial loop emitted it.
 func Fig18(s Scale) Fig18Result {
-	comps := e2eComponents(s)
+	order := []string{"autoscale", "icebreaker+clite", "aquatope"}
+	jobs := make([]runner.Job[e2eOutcome], len(order))
+	for i, name := range order {
+		name := name
+		jobs[i] = runner.Job[e2eOutcome]{Cell: name,
+			Run: func(ctx runner.Ctx) (e2eOutcome, error) {
+				cfg := core.Config{
+					Components:   e2eComponents(s),
+					TrainMin:     s.TrainMin,
+					SearchBudget: s.SearchBudget,
+					ProfileNoise: profileNoise,
+					RuntimeNoise: runtimeNoise,
+					Tracer:       ctx.Tracer,
+					Registry:     ctx.Registry,
+					Seed:         s.Seed,
+				}
+				switch name {
+				case "autoscale":
+					cfg.PoolFactory = core.AutoscalePoolFactory()
+					cfg.ManagerFactory = core.AutoscaleManagerFactory()
+				case "icebreaker+clite":
+					cfg.PoolFactory = core.IceBreakerPoolFactory()
+					cfg.ManagerFactory = core.CLITEManagerFactory()
+				case "aquatope":
+					cfg.PoolFactory = s.aquatopePoolFactory(false)
+					cfg.ManagerFactory = core.AquatopeManagerFactory()
+				}
+				return runE2E(cfg)
+			}}
+	}
+	out := runner.MustRun(s.engine("fig18"), jobs)
+
 	res := Fig18Result{
-		Order:     []string{"autoscale", "icebreaker+clite", "aquatope"},
+		Order:     order,
 		Violation: make(map[string]float64),
 		CPUTime:   make(map[string]float64),
 		MemTime:   make(map[string]float64),
 		ColdRate:  make(map[string]float64),
 	}
-	for _, name := range res.Order {
-		cfg := core.Config{
-			Components:   comps,
-			TrainMin:     s.TrainMin,
-			SearchBudget: s.SearchBudget,
-			ProfileNoise: profileNoise,
-			RuntimeNoise: runtimeNoise,
-			Tracer:       s.Tracer,
-			Registry:     s.Registry,
-			Seed:         s.Seed,
-		}
-		switch name {
-		case "autoscale":
-			cfg.PoolFactory = core.AutoscalePoolFactory()
-			cfg.ManagerFactory = core.AutoscaleManagerFactory()
-		case "icebreaker+clite":
-			cfg.PoolFactory = core.IceBreakerPoolFactory()
-			cfg.ManagerFactory = core.CLITEManagerFactory()
-		case "aquatope":
-			cfg.PoolFactory = s.aquatopePoolFactory(false)
-			cfg.ManagerFactory = core.AquatopeManagerFactory()
-		}
-		r, err := core.Run(cfg)
-		if err != nil {
-			panic(err)
-		}
-		res.Violation[name] = r.QoSViolationRate()
-		res.CPUTime[name] = r.CPUTime()
-		res.MemTime[name] = r.MemTime()
-		res.ColdRate[name] = r.ColdStartRate()
+	for i, name := range order {
+		res.Violation[name] = out[i].violation
+		res.CPUTime[name] = out[i].cpu
+		res.MemTime[name] = out[i].mem
+		res.ColdRate[name] = out[i].cold
 	}
 	return res
 }

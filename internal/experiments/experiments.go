@@ -1,15 +1,20 @@
 // Package experiments contains one reproducible harness per table and
-// figure of the paper's evaluation (§8). Every harness is parameterized by
-// a Scale so the same code serves quick CI runs and the full regeneration
-// driven by cmd/aquabench; all randomness is seeded. Each result type
-// carries a Table method that prints the same rows/series the paper
-// reports.
+// figure of the paper's evaluation (§8), exposed through the Experiment
+// registry (see registry.go). Every harness is parameterized by a Scale so
+// the same code serves quick CI runs and the full regeneration driven by
+// cmd/aquabench; all randomness is seeded. The independent replications
+// inside each harness run on the parallel replication engine
+// (internal/experiments/runner), which preserves byte-identical same-seed
+// output at any worker count. Each result type carries a Table method that
+// prints the same rows/series the paper reports, plus a Rows method for
+// mechanical (JSON) export.
 package experiments
 
 import (
 	"fmt"
 	"strings"
 
+	"aquatope/internal/experiments/runner"
 	"aquatope/internal/faas"
 	"aquatope/internal/pool"
 	"aquatope/internal/stats"
@@ -31,11 +36,33 @@ type Scale struct {
 	SearchBudget int
 	// ModelEpochs scales neural-model training effort.
 	ModelEpochs int
-	// Tracer, when non-nil, receives spans from end-to-end experiment
-	// runs (Fig. 17/18); Registry collects their metric snapshots.
-	Tracer   telemetry.Tracer
-	Registry *telemetry.Registry
-	Seed     int64
+	// Parallel is the replication worker count handed to the runner
+	// engine: 0 means runtime.GOMAXPROCS(0), 1 forces serial execution.
+	// Any value produces identical results, tables and telemetry.
+	Parallel int
+	// Collector, when non-nil, receives the merged span stream of every
+	// replication (end-to-end experiments; Fig. 17/18) in deterministic
+	// submission order; Registry likewise collects merged metric
+	// snapshots.
+	Collector *telemetry.Collector
+	Registry  *telemetry.Registry
+	// Bench, when non-nil, accumulates per-experiment wall/busy timing
+	// from the replication engine (aquabench -bench-out).
+	Bench *runner.Bench
+	Seed  int64
+}
+
+// engine builds the replication engine for one experiment run at this
+// scale.
+func (s Scale) engine(experiment string) *runner.Engine {
+	return &runner.Engine{
+		Experiment: experiment,
+		Parallel:   s.Parallel,
+		BaseSeed:   s.Seed,
+		Collector:  s.Collector,
+		Registry:   s.Registry,
+		Bench:      s.Bench,
+	}
 }
 
 // Quick is a minutes-scale configuration for tests and smoke benches.
@@ -165,9 +192,16 @@ func formatTable(header []string, rows [][]string) string {
 	return b.String()
 }
 
+// indexOf returns the position of x in xs, and whether it is present.
+func indexOf(xs []string, x string) (int, bool) {
+	for i, v := range xs {
+		if v == x {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
 func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
 func f0(x float64) string  { return fmt.Sprintf("%.0f", x) }
-func oracle(x float64) string {
-	return fmt.Sprintf("%.0f%%", x*100)
-}

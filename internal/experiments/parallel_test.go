@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"aquatope/internal/telemetry"
+)
+
+// micro is the smallest scale that still exercises the full pipeline; the
+// parallel-determinism test runs its experiment twice.
+var micro = Scale{TraceMin: 240, TrainMin: 180, Ensemble: 1, Repeats: 1, SearchBudget: 6, ModelEpochs: 1, Seed: 3}
+
+// captureFig17 runs Fig17 at the given worker count and returns the three
+// observable outputs: the rendered table, the span stream, and the metric
+// snapshot.
+func captureFig17(t *testing.T, parallel int) (string, []byte, []byte) {
+	t.Helper()
+	s := micro
+	s.Parallel = parallel
+	col := telemetry.NewCollector()
+	reg := telemetry.NewRegistry()
+	s.Collector = col
+	s.Registry = reg
+	table := Fig17(s).Table()
+	var spans, metrics bytes.Buffer
+	if err := col.WriteJSONL(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return table, spans.Bytes(), metrics.Bytes()
+}
+
+// TestParallelDeterminism is the tentpole regression: a serial run and a
+// heavily parallel run of a telemetry-emitting experiment must produce
+// byte-identical tables, span dumps and metric snapshots.
+func TestParallelDeterminism(t *testing.T) {
+	table1, spans1, metrics1 := captureFig17(t, 1)
+	table8, spans8, metrics8 := captureFig17(t, 8)
+	if table1 != table8 {
+		t.Errorf("tables diverge between -parallel 1 and 8:\n%s\nvs\n%s", table1, table8)
+	}
+	if !bytes.Equal(spans1, spans8) {
+		t.Errorf("span streams diverge between -parallel 1 and 8 (%d vs %d bytes)", len(spans1), len(spans8))
+	}
+	if !bytes.Equal(metrics1, metrics8) {
+		t.Errorf("metric snapshots diverge between -parallel 1 and 8:\n%s\nvs\n%s", metrics1, metrics8)
+	}
+	if len(spans1) == 0 {
+		t.Error("expected the end-to-end run to emit spans")
+	}
+}
+
+func TestRegistryLineup(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("registered experiments = %d, want 16", len(all))
+	}
+	ids := IDs()
+	if ids[0] != "table1" || ids[len(ids)-1] != "chaos" {
+		t.Fatalf("registration order wrong: %v", ids)
+	}
+	seen := make(map[string]bool)
+	for _, e := range all {
+		if e.Title() == "" {
+			t.Errorf("experiment %s has no title", e.ID())
+		}
+		if seen[e.ID()] {
+			t.Errorf("duplicate id %s", e.ID())
+		}
+		seen[e.ID()] = true
+		got, ok := Get(e.ID())
+		if !ok || got.ID() != e.ID() {
+			t.Errorf("Get(%q) failed", e.ID())
+		}
+	}
+	if _, ok := Get("no-such-experiment"); ok {
+		t.Error("Get on unknown id should fail")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	Register(New("table1", "dup", func(Scale) Result { return Table1Result{} }))
+}
+
+func TestMarshalResult(t *testing.T) {
+	e := New("fake", "Fake experiment", func(Scale) Result {
+		return Table1Result{Order: []string{"m"}, SMAPE: map[string]float64{"m": 12.34}}
+	})
+	r := e.Run(Scale{})
+	out := MarshalResult(e, r)
+	if out.ID != "fake" || out.Title != "Fake experiment" {
+		t.Fatalf("metadata wrong: %+v", out)
+	}
+	header, rows := r.Rows()
+	if len(out.Header) != len(header) || len(out.Rows) != len(rows) {
+		t.Fatalf("rows not mirrored: %+v", out)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"fake"`, `"12.34%"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("JSON missing %s: %s", want, data)
+		}
+	}
+}
+
+// TestAllResultsImplementRows pins that every registered experiment's result
+// type satisfies the structured Result surface with a consistent row width.
+func TestAllResultsImplementRows(t *testing.T) {
+	results := []Result{
+		Table1Result{}, Fig9Result{}, Fig10Result{}, Fig11Result{},
+		Fig12Result{}, Fig13Result{}, Fig14Result{}, Fig15Result{},
+		Fig16Result{}, Fig17Result{FullCPU: 1, FullMem: 1}, Fig18Result{Order: []string{"a"}, Violation: map[string]float64{}, CPUTime: map[string]float64{"a": 1}, MemTime: map[string]float64{"a": 1}, ColdRate: map[string]float64{}},
+		AblationBatchResult{}, AblationHeadroomResult{}, AblationMCSamplesResult{},
+		ChaosResult{Policies: []string{"none"}},
+	}
+	for i, r := range results {
+		header, rows := r.Rows()
+		if len(header) == 0 {
+			t.Errorf("result %d (%T) has an empty header", i, r)
+		}
+		for _, row := range rows {
+			if len(row) != len(header) {
+				t.Errorf("%T row width %d != header width %d", r, len(row), len(header))
+			}
+		}
+	}
+}
+
+func TestScaleEngineWorkers(t *testing.T) {
+	s := Scale{Seed: 1}
+	if got := s.engine("x").Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	s.Parallel = 1
+	if got := s.engine("x").Workers(); got != 1 {
+		t.Fatalf("serial workers = %d", got)
+	}
+}

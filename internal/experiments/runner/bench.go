@@ -1,0 +1,75 @@
+package runner
+
+import "sync"
+
+// Stats is the accumulated timing of one experiment's replication batches.
+type Stats struct {
+	// Replications counts submitted jobs across all batches.
+	Replications int `json:"replications"`
+	// WallSeconds is real elapsed time spent inside Run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// BusySeconds sums each replication's individual wall time; the ratio
+	// BusySeconds/WallSeconds is the effective speedup the worker pool
+	// achieved over a serial run.
+	BusySeconds float64 `json:"busy_seconds"`
+}
+
+// Entry is one experiment's row in the exported bench report.
+type Entry struct {
+	ID string `json:"id"`
+	Stats
+	// Speedup is BusySeconds/WallSeconds (1.0 on a serial run).
+	Speedup float64 `json:"speedup"`
+}
+
+// Bench collects per-experiment engine timing across a whole aquabench run.
+// It is safe for concurrent use and nil-safe, so a disabled bench costs one
+// branch per batch.
+type Bench struct {
+	mu    sync.Mutex
+	order []string
+	stats map[string]*Stats
+}
+
+// NewBench returns an empty bench.
+func NewBench() *Bench {
+	return &Bench{stats: make(map[string]*Stats)}
+}
+
+// Record accumulates one batch's timing under the experiment id. Nil-safe.
+func (b *Bench) Record(experiment string, replications int, wallSeconds, busySeconds float64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.stats[experiment]
+	if !ok {
+		s = &Stats{}
+		b.stats[experiment] = s
+		b.order = append(b.order, experiment)
+	}
+	s.Replications += replications
+	s.WallSeconds += wallSeconds
+	s.BusySeconds += busySeconds
+}
+
+// Entries returns one entry per recorded experiment, in first-recorded
+// order, with the speedup computed.
+func (b *Bench) Entries() []Entry {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Entry, 0, len(b.order))
+	for _, id := range b.order {
+		s := b.stats[id]
+		e := Entry{ID: id, Stats: *s}
+		if s.WallSeconds > 0 {
+			e.Speedup = s.BusySeconds / s.WallSeconds
+		}
+		out = append(out, e)
+	}
+	return out
+}

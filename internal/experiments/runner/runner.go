@@ -1,0 +1,236 @@
+// Package runner is the parallel replication engine behind the evaluation
+// harness. Every experiment in internal/experiments reduces to a batch of
+// independent simulator runs (seeds × policies × configurations); the engine
+// fans one batch out across a worker pool while keeping the observable
+// output byte-identical to a serial run:
+//
+//   - every replication gets a private seed from a stable
+//     (experiment, cell, rep) mapping (or an explicitly pinned one), so the
+//     randomness a replication sees never depends on goroutine scheduling;
+//   - every replication records telemetry into its own Collector and
+//     Registry, which the engine merges into the destination in submission
+//     order once the whole batch has finished;
+//   - results are collected by index, so aggregation code sees them in the
+//     order the jobs were built, exactly as the old serial loops did.
+//
+// A panicking replication is recovered and surfaced as an error on the
+// batch — one bad worker never deadlocks the pool. The engine also keeps
+// per-experiment wall/busy timing (see Bench) which cmd/aquabench exports
+// as the repo's performance trajectory.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"aquatope/internal/telemetry"
+)
+
+// Ctx is the per-replication context handed to each job.
+type Ctx struct {
+	// Seed is the replication's private seed: the job's pinned Seed when
+	// set, otherwise DeriveSeed(base, experiment, cell, rep).
+	Seed int64
+	// Tracer receives the replication's spans. It is never nil: when the
+	// engine has no destination collector this is the Nop tracer.
+	Tracer telemetry.Tracer
+	// Registry receives the replication's metrics; nil (which every
+	// registry method tolerates) when the engine has no destination.
+	Registry *telemetry.Registry
+}
+
+// Job is one independent replication in a batch.
+type Job[T any] struct {
+	// Cell labels the sweep cell this replication belongs to (policy
+	// name, fault rate, app — whatever the experiment sweeps); it feeds
+	// seed derivation and error messages.
+	Cell string
+	// Rep is the repetition index within the cell.
+	Rep int
+	// Seed, when non-zero, pins the replication seed instead of deriving
+	// it. The established harnesses pin their historical seed formulas so
+	// published EXPERIMENTS.md numbers stay reproducible.
+	Seed int64
+	// Run executes the replication. It must be self-contained: construct
+	// apps, traces and profilers inside the job (or share only immutable
+	// data), never mutate state owned by another job.
+	Run func(Ctx) (T, error)
+}
+
+// Engine runs batches of replications for one experiment.
+type Engine struct {
+	// Experiment is the experiment id, used in seed derivation, error
+	// messages and Bench accounting.
+	Experiment string
+	// Parallel is the worker count: 0 (or negative) means
+	// runtime.GOMAXPROCS(0), 1 forces a serial run.
+	Parallel int
+	// BaseSeed feeds DeriveSeed for jobs without a pinned seed.
+	BaseSeed int64
+	// Collector, when non-nil, receives every replication's spans, merged
+	// in submission order after the batch completes.
+	Collector *telemetry.Collector
+	// Registry, when non-nil, receives every replication's metrics,
+	// merged in submission order after the batch completes.
+	Registry *telemetry.Registry
+	// Bench, when non-nil, accumulates the engine's timing.
+	Bench *Bench
+}
+
+// Workers returns the effective worker count.
+func (e *Engine) Workers() int {
+	if e.Parallel > 0 {
+		return e.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes one batch and returns the results in job order. All jobs run
+// to completion even when some fail; the returned error joins every
+// replication failure (including recovered panics) in job order. An Engine
+// may run several batches sequentially (multi-phase experiments), but a
+// single Engine must not run batches concurrently — telemetry merge order
+// would no longer be well-defined.
+func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
+	n := len(jobs)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := e.Workers()
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	busy := make([]float64, n)
+	var collectors []*telemetry.Collector
+	if e.Collector != nil {
+		collectors = make([]*telemetry.Collector, n)
+	}
+	var registries []*telemetry.Registry
+	if e.Registry != nil {
+		registries = make([]*telemetry.Registry, n)
+	}
+
+	start := time.Now() //aqualint:allow wallclock the engine reports real harness wall time, not simulated time
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				jobStart := time.Now() //aqualint:allow wallclock per-replication busy time for the speedup report
+				ctx := Ctx{Seed: jobs[i].Seed, Tracer: telemetry.Nop{}}
+				if ctx.Seed == 0 {
+					ctx.Seed = DeriveSeed(e.BaseSeed, e.Experiment, jobs[i].Cell, jobs[i].Rep)
+				}
+				if collectors != nil {
+					c := telemetry.NewCollector()
+					collectors[i] = c
+					ctx.Tracer = c
+				}
+				if registries != nil {
+					registries[i] = telemetry.NewRegistry()
+					ctx.Registry = registries[i]
+				}
+				results[i], errs[i] = runOne(jobs[i], ctx)
+				busy[i] = time.Since(jobStart).Seconds() //aqualint:allow wallclock per-replication busy time for the speedup report
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	wall := time.Since(start).Seconds() //aqualint:allow wallclock the engine reports real harness wall time, not simulated time
+
+	// Merge per-replication telemetry in submission order: this, plus the
+	// scheduling-independent seeds, is why -parallel 1 and -parallel N
+	// produce byte-identical span streams and metric snapshots.
+	for i := 0; i < n; i++ {
+		if collectors != nil {
+			e.Collector.Merge(collectors[i])
+		}
+		if registries != nil {
+			e.Registry.Merge(registries[i])
+		}
+	}
+
+	var totalBusy float64
+	for _, d := range busy {
+		totalBusy += d
+	}
+	e.Bench.Record(e.Experiment, n, wall, totalBusy)
+
+	var failures []error
+	for i, err := range errs {
+		if err != nil {
+			failures = append(failures, fmt.Errorf("replication %s/%s#%d: %w",
+				e.Experiment, jobs[i].Cell, jobs[i].Rep, err))
+		}
+	}
+	return results, errors.Join(failures...)
+}
+
+// MustRun is Run for harnesses that follow the experiments package's
+// panic-on-failure convention.
+func MustRun[T any](e *Engine, jobs []Job[T]) []T {
+	out, err := Run(e, jobs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// runOne executes a single job, converting a panic into an error so one bad
+// replication cannot take down the worker pool.
+func runOne[T any](job Job[T], ctx Ctx) (result T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return job.Run(ctx)
+}
+
+// DeriveSeed maps (base, experiment, cell, rep) to a replication seed that
+// is stable across runs and independent of scheduling: FNV-1a over the
+// identifying strings, mixed with the base seed and finalized with
+// splitmix64 so adjacent reps land far apart in seed space. The result is
+// always positive.
+func DeriveSeed(base int64, experiment, cell string, rep int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator: ("ab","c") must differ from ("a","bc")
+		h *= prime64
+	}
+	mix(experiment)
+	mix(cell)
+	x := h ^ (uint64(rep)+1)*0x9E3779B97F4A7C15 ^ uint64(base)*0xD1B54A32D192ED03
+	// splitmix64 finalizer
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	seed := int64(x & 0x7FFFFFFFFFFFFFFF)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

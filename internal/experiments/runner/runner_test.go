@@ -1,0 +1,206 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"aquatope/internal/telemetry"
+)
+
+// batch builds a deterministic job set whose replications emit spans and
+// metrics derived only from Ctx.Seed, the way a real simulator run does.
+func batch(cells, reps int) []Job[int64] {
+	var jobs []Job[int64]
+	for c := 0; c < cells; c++ {
+		for r := 0; r < reps; r++ {
+			cell := fmt.Sprintf("cell%d", c)
+			rep := r
+			jobs = append(jobs, Job[int64]{Cell: cell, Rep: rep,
+				Run: func(ctx Ctx) (int64, error) {
+					id := ctx.Tracer.StartSpan(telemetry.KindWorkflow, cell, 0, float64(rep))
+					ctx.Tracer.Point(telemetry.KindRetry, cell, id, float64(rep)+0.5,
+						telemetry.Fields{"seed": float64(ctx.Seed % 1000)})
+					ctx.Tracer.EndSpan(id, float64(rep)+1, nil)
+					ctx.Registry.Counter("runner.test.reps").Inc()
+					ctx.Registry.Histogram("runner.test.seed_mod").Observe(float64(ctx.Seed % 97))
+					return ctx.Seed, nil
+				}})
+		}
+	}
+	return jobs
+}
+
+// runBatch executes the standard batch at the given parallelism and returns
+// the results plus serialized telemetry.
+func runBatch(t *testing.T, parallel int) ([]int64, string, string) {
+	t.Helper()
+	col := telemetry.NewCollector()
+	reg := telemetry.NewRegistry()
+	e := &Engine{Experiment: "unit", Parallel: parallel, BaseSeed: 5, Collector: col, Registry: reg}
+	out, err := Run(e, batch(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans, metrics bytes.Buffer
+	if err := col.WriteJSONL(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return out, spans.String(), metrics.String()
+}
+
+func TestRunSchedulingIndependence(t *testing.T) {
+	r1, s1, m1 := runBatch(t, 1)
+	for _, p := range []int{2, 7, 32} {
+		rp, sp, mp := runBatch(t, p)
+		for i := range r1 {
+			if r1[i] != rp[i] {
+				t.Fatalf("parallel=%d result[%d] = %d, want %d", p, i, rp[i], r1[i])
+			}
+		}
+		if s1 != sp {
+			t.Fatalf("parallel=%d span stream differs from serial run", p)
+		}
+		if m1 != mp {
+			t.Fatalf("parallel=%d metric snapshot differs from serial run", p)
+		}
+	}
+}
+
+func TestRunSeedDerivationAndPinning(t *testing.T) {
+	e := &Engine{Experiment: "seeds", Parallel: 3, BaseSeed: 42}
+	jobs := []Job[int64]{
+		{Cell: "a", Rep: 0, Run: func(ctx Ctx) (int64, error) { return ctx.Seed, nil }},
+		{Cell: "a", Rep: 1, Run: func(ctx Ctx) (int64, error) { return ctx.Seed, nil }},
+		{Cell: "b", Rep: 0, Seed: 1234, Run: func(ctx Ctx) (int64, error) { return ctx.Seed, nil }},
+	}
+	out, err := Run(e, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != DeriveSeed(42, "seeds", "a", 0) || out[1] != DeriveSeed(42, "seeds", "a", 1) {
+		t.Fatalf("derived seeds wrong: %v", out)
+	}
+	if out[0] == out[1] {
+		t.Fatal("adjacent reps derived the same seed")
+	}
+	if out[2] != 1234 {
+		t.Fatalf("pinned seed not honored: %d", out[2])
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(1, "fig9", "keepalive", 0)
+	if a != DeriveSeed(1, "fig9", "keepalive", 0) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	distinct := map[int64]string{a: "base"}
+	for _, v := range []struct {
+		base      int64
+		exp, cell string
+		rep       int
+	}{
+		{1, "fig9", "keepalive", 1},
+		{1, "fig9", "autoscale", 0},
+		{1, "fig10", "keepalive", 0},
+		{2, "fig9", "keepalive", 0},
+		{1, "fig9keepalive", "", 0}, // separator: concatenation must not collide
+	} {
+		s := DeriveSeed(v.base, v.exp, v.cell, v.rep)
+		if s <= 0 {
+			t.Fatalf("derived seed not positive: %d", s)
+		}
+		if prev, dup := distinct[s]; dup {
+			t.Fatalf("seed collision between %q and %+v", prev, v)
+		}
+		distinct[s] = fmt.Sprint(v)
+	}
+}
+
+func TestRunPanicsSurfaceAsErrors(t *testing.T) {
+	e := &Engine{Experiment: "hazard", Parallel: 4}
+	var jobs []Job[string]
+	for i := 0; i < 24; i++ {
+		i := i
+		jobs = append(jobs, Job[string]{Cell: "mixed", Rep: i,
+			Run: func(Ctx) (string, error) {
+				switch i % 3 {
+				case 0:
+					panic(fmt.Sprintf("boom %d", i))
+				case 1:
+					return "", fmt.Errorf("fail %d", i)
+				}
+				return fmt.Sprintf("ok %d", i), nil
+			}})
+	}
+	out, err := Run(e, jobs)
+	if err == nil {
+		t.Fatal("expected a joined error from failing replications")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "panicked: boom 0") || !strings.Contains(msg, "fail 1") {
+		t.Fatalf("error missing failure details:\n%s", msg)
+	}
+	if !strings.Contains(msg, "hazard/mixed#0") {
+		t.Fatalf("error missing experiment/cell/rep labels:\n%s", msg)
+	}
+	// Healthy replications still produce their results.
+	for i := 2; i < 24; i += 3 {
+		if out[i] != fmt.Sprintf("ok %d", i) {
+			t.Fatalf("result %d lost: %q", i, out[i])
+		}
+	}
+}
+
+func TestMustRunPanicsOnFailure(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRun should panic when a replication fails")
+		}
+	}()
+	MustRun(&Engine{Experiment: "x"}, []Job[int]{{Cell: "c",
+		Run: func(Ctx) (int, error) { return 0, errors.New("nope") }}})
+}
+
+func TestRunEmptyBatch(t *testing.T) {
+	out, err := Run[int](&Engine{Experiment: "empty"}, nil)
+	if out != nil || err != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestBenchAccumulates(t *testing.T) {
+	b := NewBench()
+	b.Record("fig9", 12, 2, 6)
+	b.Record("fig9", 6, 1, 3)
+	b.Record("table1", 4, 1, 1)
+	entries := b.Entries()
+	if len(entries) != 2 || entries[0].ID != "fig9" || entries[1].ID != "table1" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Replications != 18 || entries[0].WallSeconds != 3 || entries[0].BusySeconds != 9 {
+		t.Fatalf("fig9 stats = %+v", entries[0])
+	}
+	if entries[0].Speedup != 3 {
+		t.Fatalf("speedup = %v, want 3", entries[0].Speedup)
+	}
+	var nilBench *Bench
+	nilBench.Record("x", 1, 1, 1) // must not panic
+	if nilBench.Entries() != nil {
+		t.Fatal("nil bench should have no entries")
+	}
+	// The engine feeds the bench.
+	e := &Engine{Experiment: "engine", Parallel: 2, Bench: NewBench()}
+	if _, err := Run(e, batch(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Bench.Entries()
+	if len(got) != 1 || got[0].Replications != 4 || got[0].WallSeconds <= 0 {
+		t.Fatalf("engine bench entries = %+v", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"aquatope/internal/apps"
+	"aquatope/internal/experiments/runner"
 	"aquatope/internal/faas"
 	"aquatope/internal/resource"
 	"aquatope/internal/stats"
@@ -59,6 +60,26 @@ func solveOracle(a *apps.App, seed int64) (cfg map[string]faas.ResourceConfig, c
 	return cfg, cost, cpu, mem, true
 }
 
+// oracleSolution is one oracle replication's output.
+type oracleSolution struct {
+	cost, cpu, mem float64
+	ok             bool
+}
+
+// oracleJobs builds one oracle-solve replication per evaluation app.
+func oracleJobs(s Scale, names []string, mk func(i int) *apps.App) []runner.Job[oracleSolution] {
+	jobs := make([]runner.Job[oracleSolution], len(names))
+	for i := range names {
+		i := i
+		jobs[i] = runner.Job[oracleSolution]{Cell: "oracle/" + names[i],
+			Run: func(runner.Ctx) (oracleSolution, error) {
+				_, cost, cpu, mem, ok := solveOracle(mk(i), s.Seed)
+				return oracleSolution{cost: cost, cpu: cpu, mem: mem, ok: ok}, nil
+			}}
+	}
+	return jobs
+}
+
 // ---------------------------------------------------------------------------
 
 // Fig12Result holds the cost-vs-budget convergence curves per app and
@@ -91,69 +112,127 @@ func (r Fig12Result) Table() string {
 	return out
 }
 
+// Rows implements Result: the per-app blocks flattened into one table.
+func (r Fig12Result) Rows() ([]string, [][]string) {
+	header := []string{"App", "Manager"}
+	for _, b := range r.Budgets {
+		header = append(header, fmt.Sprintf("@%d", b))
+	}
+	var rows [][]string
+	for _, app := range r.Apps {
+		for _, m := range managerOrder {
+			row := []string{app, m}
+			for _, v := range r.Curves[app][m] {
+				row = append(row, f0(v*100)+"%")
+			}
+			rows = append(rows, row)
+		}
+	}
+	return header, rows
+}
+
+// fig12Checkpoints returns the budget measurement points.
+func fig12Checkpoints(budget int) []int {
+	return []int{budget / 5, 2 * budget / 5, 3 * budget / 5, 4 * budget / 5, budget}
+}
+
+// fig12Curve runs one manager repetition and returns the running-best
+// truly-feasible cost at each checkpoint (math.Inf(1) until the first
+// feasible pick). Values are raw costs; the caller normalizes by oracle.
+func fig12Curve(s Scale, a *apps.App, mgr string, rep int) []float64 {
+	checkpoints := fig12Checkpoints(s.SearchBudget)
+	seed := s.Seed + int64(rep)*37
+	prof := resource.NewProfiler(a, seed)
+	prof.Noise = profileNoise
+	m := managerFactories()[mgr](resource.NewSpace(a), prof, a.QoS, seed)
+	evalProf := resource.NewProfiler(a, s.Seed+500)
+	curve := make([]float64, len(checkpoints))
+	ci := 0
+	bestTrue := math.Inf(1)
+	lastEvaluated := ""
+	for m.Samples() < s.SearchBudget && ci < len(checkpoints) {
+		if m.Step() == 0 {
+			break
+		}
+		for ci < len(checkpoints) && m.Samples() >= checkpoints[ci] {
+			if cfg, _, ok := m.Best(); ok {
+				key := fmt.Sprint(cfg)
+				if key != lastEvaluated {
+					// Count only configurations that truly meet QoS when
+					// re-measured noiselessly.
+					if c, feasible := evalTrue(evalProf, cfg, a.QoS); feasible && c < bestTrue {
+						bestTrue = c
+					}
+					lastEvaluated = key
+				}
+			}
+			curve[ci] = bestTrue
+			ci++
+		}
+	}
+	for ; ci < len(checkpoints); ci++ {
+		curve[ci] = bestTrue
+	}
+	return curve
+}
+
 // Fig12 measures convergence: best-feasible cost (noiselessly re-evaluated)
-// as the search budget grows, for each workflow and manager.
+// as the search budget grows, for each workflow and manager. Replications:
+// one oracle solve per app, then one search per (app, manager, repetition).
 func Fig12(s Scale) Fig12Result {
+	names := make([]string, 0, 5)
+	for _, a := range evalApps(s.Seed) {
+		names = append(names, a.Name)
+	}
+	eng := s.engine("fig12")
+	oracles := runner.MustRun(eng, oracleJobs(s, names,
+		func(i int) *apps.App { return evalApps(s.Seed)[i] }))
+
+	var jobs []runner.Job[[]float64]
+	for ai := range names {
+		ai := ai
+		if !oracles[ai].ok {
+			continue
+		}
+		for _, mgr := range managerOrder {
+			mgr := mgr
+			for rep := 0; rep < s.Repeats; rep++ {
+				rep := rep
+				jobs = append(jobs, runner.Job[[]float64]{
+					Cell: names[ai] + "/" + mgr, Rep: rep,
+					Run: func(runner.Ctx) ([]float64, error) {
+						return fig12Curve(s, evalApps(s.Seed)[ai], mgr, rep), nil
+					}})
+			}
+		}
+	}
+	curves := runner.MustRun(eng, jobs)
+
 	res := Fig12Result{
+		Apps:     names,
+		Budgets:  fig12Checkpoints(s.SearchBudget),
 		Curves:   make(map[string]map[string][]float64),
 		OracleAt: make(map[string]float64),
 	}
-	budget := s.SearchBudget
-	checkpoints := []int{budget / 5, 2 * budget / 5, 3 * budget / 5, 4 * budget / 5, budget}
-	res.Budgets = checkpoints
-	for _, a := range evalApps(s.Seed) {
-		res.Apps = append(res.Apps, a.Name)
-		_, oracleCost, _, _, ok := solveOracle(a, s.Seed)
-		if !ok {
+	ji := 0
+	for ai, name := range names {
+		if !oracles[ai].ok {
 			continue
 		}
-		res.OracleAt[a.Name] = oracleCost
-		res.Curves[a.Name] = make(map[string][]float64)
-		evalProf := resource.NewProfiler(a, s.Seed+500)
-		for name, mk := range managerFactories() {
-			curves := make([][]float64, 0, s.Repeats)
-			for rep := 0; rep < s.Repeats; rep++ {
-				seed := s.Seed + int64(rep)*37
-				prof := resource.NewProfiler(a, seed)
-				prof.Noise = profileNoise
-				m := mk(resource.NewSpace(a), prof, a.QoS, seed)
-				curve := make([]float64, len(checkpoints))
-				ci := 0
-				bestTrue := math.Inf(1)
-				lastEvaluated := ""
-				for m.Samples() < budget && ci < len(checkpoints) {
-					if m.Step() == 0 {
-						break
-					}
-					for ci < len(checkpoints) && m.Samples() >= checkpoints[ci] {
-						if cfg, _, ok := m.Best(); ok {
-							key := fmt.Sprint(cfg)
-							if key != lastEvaluated {
-								// Count only configurations that truly
-								// meet QoS when re-measured noiselessly.
-								if c, feasible := evalTrue(evalProf, cfg, a.QoS); feasible && c < bestTrue {
-									bestTrue = c
-								}
-								lastEvaluated = key
-							}
-						}
-						curve[ci] = bestTrue / oracleCost
-						ci++
-					}
-				}
-				for ; ci < len(checkpoints); ci++ {
-					curve[ci] = bestTrue / oracleCost
-				}
-				curves = append(curves, curve)
-			}
-			// Mean across repetitions, ignoring infinities (no feasible yet).
-			agg := make([]float64, len(checkpoints))
+		res.OracleAt[name] = oracles[ai].cost
+		res.Curves[name] = make(map[string][]float64)
+		for _, mgr := range managerOrder {
+			reps := curves[ji : ji+s.Repeats]
+			ji += s.Repeats
+			// Mean across repetitions, ignoring infinities (no feasible
+			// yet), normalized by the oracle cost.
+			agg := make([]float64, len(res.Budgets))
 			for i := range agg {
 				var sum float64
 				var n int
-				for _, c := range curves {
+				for _, c := range reps {
 					if !math.IsInf(c[i], 1) && c[i] > 0 {
-						sum += c[i]
+						sum += c[i] / oracles[ai].cost
 						n++
 					}
 				}
@@ -163,7 +242,7 @@ func Fig12(s Scale) Fig12Result {
 					agg[i] = math.Inf(1)
 				}
 			}
-			res.Curves[a.Name][name] = agg
+			res.Curves[name][mgr] = agg
 		}
 	}
 	return res
@@ -207,72 +286,139 @@ func (r Fig13Result) Table() string {
 	return out
 }
 
+// Rows implements Result: one row per (app, manager) with both panels as
+// columns.
+func (r Fig13Result) Rows() ([]string, [][]string) {
+	var rows [][]string
+	for _, app := range r.Apps {
+		for _, mgr := range managerOrder {
+			cpu, mem := "n/a", "n/a"
+			if v := r.CPUPct[app][mgr]; v != 0 {
+				cpu = f0(v) + "%"
+			}
+			if v := r.MemPct[app][mgr]; v != 0 {
+				mem = f0(v) + "%"
+			}
+			rows = append(rows, []string{app, mgr, cpu, mem, pct(r.ViolationRate[app][mgr])})
+		}
+	}
+	return []string{"App", "Manager", "CPU(%Oracle)", "Mem(%Oracle)", "ViolRate"}, rows
+}
+
+// fig13Rep is one (app, manager, repetition) search outcome, noiselessly
+// re-evaluated with a fresh evaluation profiler.
+type fig13Rep struct {
+	cpu, mem, lat float64
+	found         bool
+}
+
 // Fig13 runs every manager to the full budget on every app (Repeats times)
 // and reports the chosen configuration's noiseless CPU/memory time
 // relative to the oracle. For random search, the best of all repetitions
 // is used, per the paper's methodology.
 func Fig13(s Scale) Fig13Result {
+	names := make([]string, 0, 5)
+	for _, a := range evalApps(s.Seed) {
+		names = append(names, a.Name)
+	}
+	eng := s.engine("fig13")
+	oracles := runner.MustRun(eng, oracleJobs(s, names,
+		func(i int) *apps.App { return evalApps(s.Seed)[i] }))
+
+	var jobs []runner.Job[fig13Rep]
+	for ai := range names {
+		ai := ai
+		if !oracles[ai].ok {
+			continue
+		}
+		for _, mgr := range managerOrder {
+			mgr := mgr
+			for rep := 0; rep < s.Repeats; rep++ {
+				rep := rep
+				jobs = append(jobs, runner.Job[fig13Rep]{
+					Cell: names[ai] + "/" + mgr, Rep: rep,
+					Run: func(runner.Ctx) (fig13Rep, error) {
+						a := evalApps(s.Seed)[ai]
+						seed := s.Seed + int64(rep)*61
+						prof := resource.NewProfiler(a, seed)
+						prof.Noise = profileNoise
+						m := managerFactories()[mgr](resource.NewSpace(a), prof, a.QoS, seed)
+						resource.Search(m, s.SearchBudget)
+						cfg, _, okB := m.Best()
+						if !okB {
+							return fig13Rep{}, nil
+						}
+						evalProf := resource.NewProfiler(a, s.Seed+500)
+						cpu, mem, lat := evalProf.SampleNoiselessComponents(cfg, 4)
+						return fig13Rep{cpu: cpu, mem: mem, lat: lat, found: true}, nil
+					}})
+			}
+		}
+	}
+	out := runner.MustRun(eng, jobs)
+
 	res := Fig13Result{
+		Apps:          names,
 		CPUPct:        make(map[string]map[string]float64),
 		MemPct:        make(map[string]map[string]float64),
 		ViolationRate: make(map[string]map[string]float64),
 	}
-	for _, a := range evalApps(s.Seed) {
-		res.Apps = append(res.Apps, a.Name)
-		_, _, oCPU, oMem, ok := solveOracle(a, s.Seed)
-		if !ok {
+	ji := 0
+	for ai, name := range names {
+		if !oracles[ai].ok {
 			continue
 		}
-		res.CPUPct[a.Name] = make(map[string]float64)
-		res.MemPct[a.Name] = make(map[string]float64)
-		res.ViolationRate[a.Name] = make(map[string]float64)
-		evalProf := resource.NewProfiler(a, s.Seed+500)
-		for name, mk := range managerFactories() {
+		res.CPUPct[name] = make(map[string]float64)
+		res.MemPct[name] = make(map[string]float64)
+		res.ViolationRate[name] = make(map[string]float64)
+		for _, mgr := range managerOrder {
+			reps := out[ji : ji+s.Repeats]
+			ji += s.Repeats
 			var cpus, mems []float64
 			viol := 0
-			bestRandomCost := math.Inf(1)
-			var bestRandom map[string]faas.ResourceConfig
-			for rep := 0; rep < s.Repeats; rep++ {
-				seed := s.Seed + int64(rep)*61
-				prof := resource.NewProfiler(a, seed)
-				prof.Noise = profileNoise
-				m := mk(resource.NewSpace(a), prof, a.QoS, seed)
-				resource.Search(m, s.SearchBudget)
-				cfg, _, okB := m.Best()
-				if !okB {
-					continue
-				}
-				cpu, mem, lat := evalProf.SampleNoiselessComponents(cfg, 4)
-				if name == "random" {
-					// Paper: best of all random trials.
-					if c := cpu + mem; c < bestRandomCost && lat <= a.QoS {
-						bestRandomCost = c
-						bestRandom = cfg
+			if mgr == "random" {
+				// Paper: best of all random trials.
+				best := math.Inf(1)
+				var pick fig13Rep
+				for _, r := range reps {
+					if r.found && r.lat <= qosOf(s, ai) && r.cpu+r.mem < best {
+						best = r.cpu + r.mem
+						pick = r
 					}
-					continue
 				}
-				if lat > a.QoS {
-					// A truly-violating pick does not contribute a cost
-					// sample (the paper's managers all meet QoS); it is
-					// reported through the violation rate instead.
-					viol++
-					continue
+				if pick.found {
+					cpus, mems = []float64{pick.cpu}, []float64{pick.mem}
 				}
-				cpus = append(cpus, cpu)
-				mems = append(mems, mem)
-			}
-			if name == "random" && bestRandom != nil {
-				cpu, mem, _ := evalProf.SampleNoiselessComponents(bestRandom, 4)
-				cpus, mems = []float64{cpu}, []float64{mem}
+			} else {
+				for _, r := range reps {
+					if !r.found {
+						continue
+					}
+					if r.lat > qosOf(s, ai) {
+						// A truly-violating pick does not contribute a
+						// cost sample (the paper's managers all meet
+						// QoS); it is reported through the violation
+						// rate instead.
+						viol++
+						continue
+					}
+					cpus = append(cpus, r.cpu)
+					mems = append(mems, r.mem)
+				}
 			}
 			if len(cpus) > 0 {
-				res.CPUPct[a.Name][name] = stats.Mean(cpus) / oCPU * 100
-				res.MemPct[a.Name][name] = stats.Mean(mems) / oMem * 100
-				res.ViolationRate[a.Name][name] = float64(viol) / float64(s.Repeats)
+				res.CPUPct[name][mgr] = stats.Mean(cpus) / oracles[ai].cpu * 100
+				res.MemPct[name][mgr] = stats.Mean(mems) / oracles[ai].mem * 100
+				res.ViolationRate[name][mgr] = float64(viol) / float64(s.Repeats)
 			}
 		}
 	}
 	return res
+}
+
+// qosOf returns the i-th evaluation app's QoS target.
+func qosOf(s Scale, i int) float64 {
+	return evalApps(s.Seed)[i].QoS
 }
 
 // ---------------------------------------------------------------------------
@@ -287,69 +433,123 @@ type Fig14Result struct {
 
 // Table renders the comparison.
 func (r Fig14Result) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r Fig14Result) Rows() ([]string, [][]string) {
 	rows := make([][]string, len(r.Labels))
 	for i := range r.Labels {
 		rows[i] = []string{r.Labels[i], f0(r.CLITE[i]) + "%", f0(r.Aquatope[i]) + "%"}
 	}
-	return formatTable([]string{"Case", "CLITE", "Aquatope"}, rows)
+	return []string{"Case", "CLITE", "Aquatope"}, rows
+}
+
+// fig14Case is one sweep point of Fig. 14a/b.
+type fig14Case struct {
+	label   string
+	mkApp   func() *apps.App
+	execStd float64
+}
+
+// headToHeadRep is one (case, manager, repetition) outcome.
+type headToHeadRep struct {
+	cost     float64
+	feasible bool
+}
+
+// headToHead runs CLITE and Aquatope over the sweep cases and returns
+// their final %-oracle costs (mean over repetitions). Replications: one
+// oracle per case plus one search per (case, manager, repetition).
+func headToHead(s Scale, experiment string, cases []fig14Case) Fig14Result {
+	eng := s.engine(experiment)
+	labels := make([]string, len(cases))
+	for i, c := range cases {
+		labels[i] = c.label
+	}
+	oracles := runner.MustRun(eng, oracleJobs(s, labels,
+		func(i int) *apps.App { return cases[i].mkApp() }))
+
+	managers := []string{"clite", "aquatope"}
+	var jobs []runner.Job[headToHeadRep]
+	for ci := range cases {
+		ci := ci
+		for _, mgr := range managers {
+			mgr := mgr
+			for rep := 0; rep < s.Repeats; rep++ {
+				rep := rep
+				jobs = append(jobs, runner.Job[headToHeadRep]{
+					Cell: cases[ci].label + "/" + mgr, Rep: rep,
+					Run: func(runner.Ctx) (headToHeadRep, error) {
+						a := cases[ci].mkApp()
+						seed := s.Seed + int64(rep)*73
+						prof := resource.NewProfiler(a, seed)
+						prof.Noise = profileNoise
+						prof.ExecTimeStd = cases[ci].execStd
+						m := managerFactories()[mgr](resource.NewSpace(a), prof, a.QoS, seed)
+						resource.Search(m, s.SearchBudget)
+						cfg, _, okB := m.Best()
+						if !okB {
+							return headToHeadRep{}, nil
+						}
+						evalProf := resource.NewProfiler(a, s.Seed+500)
+						c, feasible := evalTrue(evalProf, cfg, a.QoS)
+						return headToHeadRep{cost: c, feasible: feasible}, nil
+					}})
+			}
+		}
+	}
+	out := runner.MustRun(eng, jobs)
+
+	res := Fig14Result{Labels: labels}
+	ji := 0
+	for ci := range cases {
+		perManager := make(map[string]float64, len(managers))
+		for _, mgr := range managers {
+			reps := out[ji : ji+s.Repeats]
+			ji += s.Repeats
+			var sum float64
+			var n int
+			for _, r := range reps {
+				if r.feasible {
+					sum += r.cost
+					n++
+				}
+			}
+			if n == 0 || !oracles[ci].ok {
+				perManager[mgr] = math.NaN()
+				continue
+			}
+			perManager[mgr] = sum / float64(n) / oracles[ci].cost * 100
+		}
+		res.CLITE = append(res.CLITE, perManager["clite"])
+		res.Aquatope = append(res.Aquatope, perManager["aquatope"])
+	}
+	return res
 }
 
 // Fig14a sweeps the chain length (1, 3, 5 stages).
 func Fig14a(s Scale) Fig14Result {
-	res := Fig14Result{}
+	var cases []fig14Case
 	for _, n := range []int{1, 3, 5} {
-		a := apps.NewChain(n)
-		c, q := headToHead(s, a, 0)
-		res.Labels = append(res.Labels, fmt.Sprintf("N=%d", n))
-		res.CLITE = append(res.CLITE, c)
-		res.Aquatope = append(res.Aquatope, q)
+		n := n
+		cases = append(cases, fig14Case{
+			label: fmt.Sprintf("N=%d", n),
+			mkApp: func() *apps.App { return apps.NewChain(n) },
+		})
 	}
-	return res
+	return headToHead(s, "fig14a", cases)
 }
 
 // Fig14b sweeps execution-time variability on a single-stage workflow.
 func Fig14b(s Scale) Fig14Result {
-	res := Fig14Result{}
+	var cases []fig14Case
 	for _, cv := range []float64{0, 0.5, 1} {
-		a := apps.NewChain(1)
-		c, q := headToHead(s, a, cv)
-		res.Labels = append(res.Labels, fmt.Sprintf("CV=%.1f", cv))
-		res.CLITE = append(res.CLITE, c)
-		res.Aquatope = append(res.Aquatope, q)
+		cases = append(cases, fig14Case{
+			label:   fmt.Sprintf("CV=%.1f", cv),
+			mkApp:   func() *apps.App { return apps.NewChain(1) },
+			execStd: cv,
+		})
 	}
-	return res
-}
-
-// headToHead runs CLITE and Aquatope on an app and returns their final
-// %-oracle costs (mean over repetitions).
-func headToHead(s Scale, a *apps.App, execStd float64) (clitePct, aquaPct float64) {
-	_, oracleCost, _, _, ok := solveOracle(a, s.Seed)
-	if !ok {
-		return math.NaN(), math.NaN()
-	}
-	evalProf := resource.NewProfiler(a, s.Seed+500)
-	run := func(mk func(sp *resource.Space, p *resource.Profiler, q float64, seed int64) resource.Manager) float64 {
-		var sum float64
-		var n int
-		for rep := 0; rep < s.Repeats; rep++ {
-			seed := s.Seed + int64(rep)*73
-			prof := resource.NewProfiler(a, seed)
-			prof.Noise = profileNoise
-			prof.ExecTimeStd = execStd
-			m := mk(resource.NewSpace(a), prof, a.QoS, seed)
-			resource.Search(m, s.SearchBudget)
-			if cfg, _, okB := m.Best(); okB {
-				if c, feasible := evalTrue(evalProf, cfg, a.QoS); feasible {
-					sum += c
-					n++
-				}
-			}
-		}
-		if n == 0 {
-			return math.NaN()
-		}
-		return sum / float64(n) / oracleCost * 100
-	}
-	fac := managerFactories()
-	return run(fac["clite"]), run(fac["aquatope"])
+	return headToHead(s, "fig14b", cases)
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"aquatope/internal/bayesnn"
+	"aquatope/internal/experiments/runner"
 	"aquatope/internal/pool"
 	"aquatope/internal/stats"
 	"aquatope/internal/timeseries"
@@ -17,17 +18,57 @@ type Table1Result struct {
 
 // Table renders the result like the paper's Table 1.
 func (r Table1Result) Table() string {
+	return formatTable(r.Rows())
+}
+
+// Rows implements Result.
+func (r Table1Result) Rows() ([]string, [][]string) {
 	rows := make([][]string, 0, len(r.Order))
 	for _, name := range r.Order {
 		rows = append(rows, []string{name, f2(r.SMAPE[name]) + "%"})
 	}
-	return formatTable([]string{"Model", "SMAPE"}, rows)
+	return []string{"Model", "SMAPE"}, rows
 }
 
 // Table1 measures one-step-ahead prediction accuracy of the fixed
 // keep-alive (naive), ARIMA, vanilla LSTM, and Aquatope hybrid Bayesian
-// models over the workload ensemble's demand series.
+// models over the workload ensemble's demand series. Each ensemble member
+// is one replication; a member whose test window is empty contributes
+// nothing (nil map).
 func Table1(s Scale) Table1Result {
+	jobs := make([]runner.Job[map[string]float64], s.Ensemble)
+	for i := 0; i < s.Ensemble; i++ {
+		i := i
+		jobs[i] = runner.Job[map[string]float64]{Cell: "member", Rep: i,
+			Run: func(runner.Ctx) (map[string]float64, error) {
+				tr := table1Trace(i, s.TraceMin, s.Seed)
+				execSec := stats.NewRNG(s.Seed+int64(i)*17).Uniform(4, 8)
+				demand := pool.DemandSeries(tr.Arrivals, execSec, s.TraceMin)
+				train := demand[:s.TrainMin]
+				test := demand[s.TrainMin:]
+				if stats.Sum(test) == 0 {
+					return nil, nil
+				}
+				smape := make(map[string]float64)
+				// Classic predictors.
+				for _, p := range []timeseries.Predictor{
+					timeseries.NewNaive(),
+					timeseries.NewARIMA(6, 1, 2),
+					timeseries.NewHoltWinters(trace.MinutesPerDay / 4),
+					timeseries.NewVanillaLSTM(16, 32, s.ModelEpochs, s.Seed+int64(i)),
+				} {
+					p.Fit(train)
+					pred := p.Forecast(test)
+					smape[p.Name()] = stats.SMAPE(test, pred)
+				}
+				// Aquatope hybrid model: one-step-ahead predictive means
+				// over the test window, with external features.
+				smape["aquatope"] = aquatopeSMAPE(s, tr, demand, i)
+				return smape, nil
+			}}
+	}
+	members := runner.MustRun(s.engine("table1"), jobs)
+
 	res := Table1Result{
 		SMAPE: make(map[string]float64),
 		// The paper's Table 1 compares Keep-Alive, ARIMA, LSTM and the
@@ -36,36 +77,16 @@ func Table1(s Scale) Table1Result {
 		Order: []string{"keepalive", "arima", "holtwinters", "lstm", "aquatope"},
 	}
 	counts := make(map[string]int)
-	for i := 0; i < s.Ensemble; i++ {
-		tr := table1Trace(i, s.TraceMin, s.Seed)
-		execSec := stats.NewRNG(s.Seed+int64(i)*17).Uniform(4, 8)
-		demand := pool.DemandSeries(tr.Arrivals, execSec, s.TraceMin)
-		train := demand[:s.TrainMin]
-		test := demand[s.TrainMin:]
-		if stats.Sum(test) == 0 {
-			continue
+	for _, smape := range members { // index order: deterministic float sums
+		for _, name := range res.Order {
+			if v, ok := smape[name]; ok {
+				res.SMAPE[name] += v
+				counts[name]++
+			}
 		}
-
-		// Classic predictors.
-		for _, p := range []timeseries.Predictor{
-			timeseries.NewNaive(),
-			timeseries.NewARIMA(6, 1, 2),
-			timeseries.NewHoltWinters(trace.MinutesPerDay / 4),
-			timeseries.NewVanillaLSTM(16, 32, s.ModelEpochs, s.Seed+int64(i)),
-		} {
-			p.Fit(train)
-			pred := p.Forecast(test)
-			res.SMAPE[p.Name()] += stats.SMAPE(test, pred)
-			counts[p.Name()]++
-		}
-
-		// Aquatope hybrid model: one-step-ahead predictive means over the
-		// test window, with external features.
-		res.SMAPE["aquatope"] += aquatopeSMAPE(s, tr, demand, i)
-		counts["aquatope"]++
 	}
-	for name, c := range counts {
-		if c > 0 {
+	for _, name := range res.Order {
+		if c := counts[name]; c > 0 {
 			res.SMAPE[name] /= float64(c)
 		}
 	}
