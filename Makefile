@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmtcheck lint test bench microbench
+.PHONY: verify build vet fmtcheck lint test bench microbench smoke
 
 # Tier-1 gate: build everything, vet, check formatting, lint the
 # determinism invariants, and run the full test suite with the race
@@ -39,3 +39,14 @@ bench:
 
 microbench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# smoke runs the overload saturation sweep at quick scale through the CLI
+# twice — parallel and serial — and requires byte-identical stdout: the
+# fastest end-to-end check that the overload-protection layers (bounded
+# queues, breakers, retry budgets, pool guard) stay deterministic and
+# parallel-safe. Timing lines go to stderr, so stdout compares clean.
+smoke:
+	$(GO) run ./cmd/aquabench -exp overload -scale quick -parallel 2 > .smoke_p2.txt
+	$(GO) run ./cmd/aquabench -exp overload -scale quick -parallel 1 > .smoke_p1.txt
+	cmp .smoke_p1.txt .smoke_p2.txt
+	rm -f .smoke_p1.txt .smoke_p2.txt

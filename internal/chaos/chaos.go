@@ -36,6 +36,11 @@ const (
 	// KindStraggler multiplies execution times on one invoker by Factor for
 	// the window [At, At+Duration) — a degraded-host episode.
 	KindStraggler Kind = "straggler"
+	// KindBurst injects background invocations at Rate per second for the
+	// window [At, At+Duration) — a demand surge stacked on top of the
+	// workload, driving the platform through and past saturation. Function
+	// targets one function; empty round-robins over every registered one.
+	KindBurst Kind = "burst"
 )
 
 // Fault is one scripted fault episode.
@@ -52,6 +57,11 @@ type Fault struct {
 	Rates faas.FaultRates
 	// Factor is the straggler's execution-time multiplier (> 1).
 	Factor float64
+	// Rate is the burst's injection rate in invocations per second.
+	Rate float64
+	// Function targets burst faults (empty = all registered functions,
+	// round-robin).
+	Function string
 }
 
 // Scenario is a named, ordered fault script.
@@ -154,6 +164,34 @@ func (in *Injector) fire(f Fault) {
 		} else {
 			end(telemetry.Fields{"invoker": float64(f.Invoker), "factor": f.Factor})
 		}
+	case KindBurst:
+		fns := in.cl.Functions()
+		if f.Function != "" {
+			fns = []string{f.Function}
+		}
+		if f.Rate <= 0 || f.Duration <= 0 || len(fns) == 0 {
+			end(telemetry.Fields{"rate": f.Rate, "injected": 0})
+			return
+		}
+		step := 1 / f.Rate
+		until := now + f.Duration
+		injected := 0
+		var inject func()
+		inject = func() {
+			if eng.Now() >= until {
+				end(telemetry.Fields{"rate": f.Rate, "injected": float64(injected)})
+				return
+			}
+			// Background pressure: fire-and-forget, no deadline — under
+			// bounded queues the platform is free to shed it.
+			if err := in.cl.Invoke(fns[injected%len(fns)], 1, nil); err != nil {
+				end(telemetry.Fields{"rate": f.Rate, "injected": float64(injected)})
+				return
+			}
+			injected++
+			eng.After(step, inject)
+		}
+		inject()
 	default:
 		end(nil)
 	}
@@ -162,7 +200,8 @@ func (in *Injector) fire(f Fault) {
 // Names lists the builtin scenario names accepted by Builtin (and the
 // -chaos CLI flag), in stable order.
 func Names() []string {
-	return []string{"invoker-crash", "container-churn", "stragglers", "mixed", "random"}
+	return []string{"invoker-crash", "container-churn", "stragglers", "mixed",
+		"overload", "overload-crash", "random"}
 }
 
 // Builtin returns a named scenario scaled to a run horizon (seconds).
@@ -196,6 +235,20 @@ func Builtin(name string, horizon float64, seed int64) (scn Scenario, ok bool) {
 				Rates: faas.FaultRates{InitFailure: 0.03, ExecKill: 0.02}},
 			{Kind: KindInvokerCrash, At: 0.30 * h, Duration: 0.20 * h, Invoker: 2},
 			{Kind: KindStraggler, At: 0.55 * h, Duration: 0.30 * h, Invoker: 4, Factor: 2.5},
+		}}, true
+	case "overload":
+		// Two demand surges: a short sharp burst, then a longer sustained
+		// one — the platform must shed its way through both.
+		return Scenario{Name: name, Faults: []Fault{
+			{Kind: KindBurst, At: 0.30 * h, Duration: 0.10 * h, Rate: 6},
+			{Kind: KindBurst, At: 0.60 * h, Duration: 0.25 * h, Rate: 3},
+		}}, true
+	case "overload-crash":
+		// Invoker loss in the middle of a surge: capacity shrinks exactly
+		// when demand peaks.
+		return Scenario{Name: name, Faults: []Fault{
+			{Kind: KindBurst, At: 0.30 * h, Duration: 0.30 * h, Rate: 4},
+			{Kind: KindInvokerCrash, At: 0.40 * h, Duration: 0.15 * h, Invoker: 1},
 		}}, true
 	case "random":
 		return Random(h, 6, 1, seed), true

@@ -79,31 +79,43 @@ type Config struct {
 	// Resilience enables the workflow retry/timeout/hedging layer for the
 	// live run (nil = fire-once).
 	Resilience *workflow.RetryPolicy
-	Seed       int64
+	// PoolGuard enables degraded-mode fallback on the pool manager: under
+	// heavy admission shedding or blown-out model uncertainty, pre-warm
+	// targets switch to a conservative recent-peak rule (nil = off).
+	PoolGuard *pool.Guard
+	Seed      int64
 }
 
 // AppResult reports one application's test-window outcome.
 type AppResult struct {
 	Workflows     int
 	QoSViolations int
-	// LatencyViolations and FailureViolations attribute QoSViolations: a
-	// workflow that lost its output to an unrecovered fault violates QoS
-	// regardless of how fast it failed, and is counted separately from one
-	// that completed but missed its latency target.
+	// LatencyViolations, FailureViolations and ShedViolations attribute
+	// QoSViolations: a workflow that lost its output to an unrecovered
+	// fault violates QoS regardless of how fast it failed; one whose
+	// settling failure was an admission shed is overload the platform
+	// chose (fast, bounded rejection) rather than a hard fault; one that
+	// completed but missed its latency target is late.
 	LatencyViolations int
 	FailureViolations int
+	ShedViolations    int
 	// FailedWorkflows counts workflows with at least one terminally failed
-	// stage instance (equals FailureViolations; kept for readability).
+	// stage instance (equals FailureViolations + ShedViolations).
 	FailedWorkflows int
 	// Retries and Hedges count resilience-layer re-issued and hedged
-	// attempts over the test window.
-	Retries     int
-	Hedges      int
-	ColdStarts  int
-	Invocations int
-	CPUTime     float64
-	MemTime     float64
-	MeanLatency float64
+	// attempts over the test window; RetriesDenied and HedgesSkipped
+	// count the ones its retry budget / hedge backpressure suppressed.
+	Retries       int
+	Hedges        int
+	RetriesDenied int
+	HedgesSkipped int
+	// ShedInvocations counts stage attempts rejected by admission control.
+	ShedInvocations int
+	ColdStarts      int
+	Invocations     int
+	CPUTime         float64
+	MemTime         float64
+	MeanLatency     float64
 	// P50/P95/P99 are end-to-end workflow latency percentiles over the
 	// test window, from the app's telemetry histogram.
 	P50, P95, P99 float64
@@ -171,6 +183,43 @@ func (r Result) Hedges() int {
 	n := 0
 	for _, a := range r.PerApp {
 		n += a.Hedges
+	}
+	return n
+}
+
+// ShedViolations returns total workflows settled by admission sheds.
+func (r Result) ShedViolations() int {
+	n := 0
+	for _, a := range r.PerApp {
+		n += a.ShedViolations
+	}
+	return n
+}
+
+// ShedInvocations returns total stage attempts rejected by admission
+// control across apps.
+func (r Result) ShedInvocations() int {
+	n := 0
+	for _, a := range r.PerApp {
+		n += a.ShedInvocations
+	}
+	return n
+}
+
+// RetriesDenied returns total budget-suppressed retries across apps.
+func (r Result) RetriesDenied() int {
+	n := 0
+	for _, a := range r.PerApp {
+		n += a.RetriesDenied
+	}
+	return n
+}
+
+// HedgesSkipped returns total suppressed hedges across apps.
+func (r Result) HedgesSkipped() int {
+	n := 0
+	for _, a := range r.PerApp {
+		n += a.HedgesSkipped
 	}
 	return n
 }
@@ -327,16 +376,25 @@ func Run(cfg Config) (Result, error) {
 				st.res.Workflows++
 				if r.Failed {
 					// A faulted workflow has no output: it violates QoS
-					// no matter how quickly it gave up.
+					// no matter how quickly it gave up. Sheds are
+					// attributed separately: the platform rejected the
+					// work to stay stable, it did not lose it.
 					st.res.QoSViolations++
-					st.res.FailureViolations++
 					st.res.FailedWorkflows++
+					if r.ShedStages > 0 {
+						st.res.ShedViolations++
+					} else {
+						st.res.FailureViolations++
+					}
 				} else if r.Latency() > st.qos {
 					st.res.QoSViolations++
 					st.res.LatencyViolations++
 				}
 				st.res.Retries += r.Retries
 				st.res.Hedges += r.Hedges
+				st.res.RetriesDenied += r.RetriesDenied
+				st.res.HedgesSkipped += r.HedgesSkipped
+				st.res.ShedInvocations += r.Sheds
 				st.res.ColdStarts += r.ColdStarts
 				st.res.Invocations += r.Invocations
 				st.res.CPUTime += r.CPUTime()
@@ -358,6 +416,7 @@ func Run(cfg Config) (Result, error) {
 	if cfg.PoolFactory != nil {
 		mgr = pool.NewManager(cl)
 		mgr.ApplyAfter = trainCut
+		mgr.Guard = cfg.PoolGuard
 		policies := make(map[string]pool.Policy)
 		for _, comp := range cfg.Components {
 			tr := comp.Trace

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"aquatope/internal/chaos"
+	"aquatope/internal/faas"
+	"aquatope/internal/pool"
 	"aquatope/internal/telemetry"
 	"aquatope/internal/workflow"
 )
@@ -99,6 +101,97 @@ func TestFullPipelineDeterministicUnderChaos(t *testing.T) {
 	if res1.QoSViolationRate() != res2.QoSViolationRate() || res1.Goodput() != res2.Goodput() {
 		t.Errorf("summary metrics diverged: violations %v vs %v, goodput %v vs %v",
 			res1.QoSViolationRate(), res2.QoSViolationRate(), res1.Goodput(), res2.Goodput())
+	}
+}
+
+// runOverloadPipeline executes the controller with every overload-protection
+// layer armed — bounded queues under deadline-aware admission, per-invoker
+// circuit breakers, the shared retry budget with hedge backpressure, the
+// pool guard's degraded mode — under a surge-plus-invoker-loss chaos
+// scenario that actually trips them.
+func runOverloadPipeline(t *testing.T, seed int64) (Result, *telemetry.Collector, *telemetry.Registry) {
+	t.Helper()
+	comps := smallComponents(2)
+	horizon := float64(comps[0].Trace.DurationMin) * 60
+	scn, ok := chaos.Builtin("overload-crash", horizon, seed)
+	if !ok {
+		t.Fatal("overload-crash chaos scenario missing")
+	}
+	pol := workflow.DefaultRetryPolicy()
+	pol.Timeout = 60
+	pol.HedgeDelay = 10
+	pol.MaxAttempts = 4
+	pol.RetryBudget = 2
+	pol.RetryBudgetPerSec = 0.05
+	pol.HedgeQueueLimit = 2
+	col := telemetry.NewCollector()
+	reg := telemetry.NewRegistry()
+	res, err := Run(Config{
+		Components:     comps,
+		TrainMin:       120,
+		PoolFactory:    fastPool(),
+		ManagerFactory: AquatopeManagerFactory(),
+		SearchBudget:   6,
+		ClusterCfg: faas.Config{
+			Invokers: 2, CPUPerInvoker: 2, MemoryPerInvokerMB: 2048,
+			QueueLimit: 4, Admission: faas.AdmitDeadlineAware,
+			Breaker: faas.BreakerConfig{Enabled: true},
+		},
+		Chaos:      scn,
+		Resilience: &pol,
+		PoolGuard:  &pool.Guard{ShedThreshold: 5, UncertaintyFrac: 3, RecoverIntervals: 2},
+		Tracer:     col,
+		Registry:   reg,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, col, reg
+}
+
+// TestOverloadPipelineDeterministic runs the controller twice with circuit
+// breakers, admission shedding, retry budgets and the pool guard all
+// enabled, and requires byte-identical span and metric dumps — the overload
+// layers must draw only on the run's seeded RNG streams and virtual clock.
+func TestOverloadPipelineDeterministic(t *testing.T) {
+	res1, col1, reg1 := runOverloadPipeline(t, 17)
+	res2, col2, reg2 := runOverloadPipeline(t, 17)
+
+	if res1.Workflows() == 0 {
+		t.Fatal("no workflows completed in the test window")
+	}
+	if res1.ShedInvocations() == 0 {
+		t.Fatal("overload scenario armed but nothing was shed — protections untested")
+	}
+
+	var s1, s2 bytes.Buffer
+	if err := col1.WriteJSONL(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := col2.WriteJSONL(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Errorf("same-seed overload runs produced different span streams (%d vs %d bytes); first divergence:\n%s",
+			s1.Len(), s2.Len(), firstDivergence(s1.String(), s2.String()))
+	}
+
+	var m1, m2 bytes.Buffer
+	if err := reg1.WriteJSON(&m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg2.WriteJSON(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Errorf("same-seed overload runs produced different metric snapshots; first divergence:\n%s",
+			firstDivergence(m1.String(), m2.String()))
+	}
+
+	if res1.Goodput() != res2.Goodput() || res1.ShedViolations() != res2.ShedViolations() {
+		t.Errorf("summary metrics diverged: goodput %v vs %v, shed violations %v vs %v",
+			res1.Goodput(), res2.Goodput(), res1.ShedViolations(), res2.ShedViolations())
 	}
 }
 

@@ -57,11 +57,11 @@ func TestParallelDeterminism(t *testing.T) {
 
 func TestRegistryLineup(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registered experiments = %d, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registered experiments = %d, want 17", len(all))
 	}
 	ids := IDs()
-	if ids[0] != "table1" || ids[len(ids)-1] != "chaos" {
+	if ids[0] != "table1" || ids[len(ids)-1] != "overload" {
 		t.Fatalf("registration order wrong: %v", ids)
 	}
 	seen := make(map[string]bool)
@@ -125,6 +125,7 @@ func TestAllResultsImplementRows(t *testing.T) {
 		Fig16Result{}, Fig17Result{FullCPU: 1, FullMem: 1}, Fig18Result{Order: []string{"a"}, Violation: map[string]float64{}, CPUTime: map[string]float64{"a": 1}, MemTime: map[string]float64{"a": 1}, ColdRate: map[string]float64{}},
 		AblationBatchResult{}, AblationHeadroomResult{}, AblationMCSamplesResult{},
 		ChaosResult{Policies: []string{"none"}},
+		OverloadResult{Mults: []int{1}, Policies: []string{"none"}},
 	}
 	for i, r := range results {
 		header, rows := r.Rows()

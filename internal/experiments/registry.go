@@ -145,4 +145,6 @@ func init() {
 		func(s Scale) Result { return AblationMCSamples(s) }))
 	Register(New("chaos", "Chaos: fault rate × retry policy resilience sweep",
 		func(s Scale) Result { return Chaos(s) }))
+	Register(New("overload", "Overload: arrival-rate sweep through saturation (admission, breakers, budgets)",
+		func(s Scale) Result { return Overload(s) }))
 }

@@ -49,6 +49,9 @@ type Invoker struct {
 	containers map[*container]struct{}
 	memUsedMB  float64
 	cpuBusy    float64
+	// breaker is the invoker's circuit breaker (nil unless
+	// Config.Breaker.Enabled).
+	breaker *breaker
 	// down marks a crashed invoker: it hosts no containers and the
 	// controller routes around it until recovery.
 	down bool
@@ -77,8 +80,14 @@ type function struct {
 	// still warming) but not yet completed; the concurrency limit is
 	// enforced against it.
 	inFlight int
-	// queue of invocations waiting for concurrency or capacity.
-	queue []*pendingInvocation
+	// queue of invocations waiting for concurrency or capacity, bounded
+	// by queueLimit (0 = unbounded) under the cluster's admission policy.
+	queue      []*pendingInvocation
+	queueLimit int
+	// execEWMA is the function's observed service time (exponentially
+	// weighted over successful runs); deadline-aware shedding uses it to
+	// spot queued work whose deadline is already unmeetable.
+	execEWMA float64
 	// reserved warming containers mapped to their waiters.
 	nextContainerID int
 }
@@ -91,8 +100,10 @@ type pendingInvocation struct {
 	span telemetry.SpanID
 	// attempt tags results and spans with the caller's retry attempt.
 	attempt int
-	// timeoutEv is the armed submission deadline (nil without a timeout).
+	// timeoutEv is the armed submission deadline (nil without a timeout);
+	// timeout keeps its horizon for deadline-aware shedding.
 	timeoutEv *sim.Event
+	timeout   float64
 	// ct is the container the invocation is reserved on or running in
 	// (nil while queued).
 	ct *container
@@ -116,6 +127,14 @@ type Config struct {
 	DefaultKeepAlive float64
 	// Noise is the platform interference model.
 	Noise Noise
+	// QueueLimit bounds every function's pending queue (0 = unbounded,
+	// the historical behaviour); SetQueueLimit overrides per function.
+	QueueLimit int
+	// Admission selects what is shed when a bounded queue overflows.
+	Admission AdmissionPolicy
+	// Breaker configures the per-invoker circuit breakers (off by
+	// default).
+	Breaker BreakerConfig
 	// Registry, when non-nil, backs the cluster's Metrics so platform
 	// counters and latency histograms land in a snapshot shared with
 	// other subsystems.
@@ -135,6 +154,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultKeepAlive <= 0 {
 		c.DefaultKeepAlive = 600
+	}
+	if c.QueueLimit < 0 {
+		c.QueueLimit = 0
+	}
+	if c.Breaker.Enabled {
+		c.Breaker = c.Breaker.withDefaults()
 	}
 	return c
 }
@@ -172,13 +197,17 @@ func NewCluster(eng *sim.Engine, cfg Config) *Cluster {
 		tracer:   telemetry.Nop{},
 	}
 	for i := 0; i < cfg.Invokers; i++ {
-		c.invokers = append(c.invokers, &Invoker{
+		iv := &Invoker{
 			ID:               i,
 			CPUCapacity:      cfg.CPUPerInvoker,
 			MemoryCapacityMB: cfg.MemoryPerInvokerMB,
 			cluster:          c,
 			containers:       make(map[*container]struct{}),
-		})
+		}
+		if cfg.Breaker.Enabled {
+			iv.breaker = &breaker{ring: make([]bool, cfg.Breaker.Window)}
+		}
+		c.invokers = append(c.invokers, iv)
 	}
 	return c
 }
@@ -207,7 +236,8 @@ func (c *Cluster) RegisterFunction(spec FunctionSpec, cfg ResourceConfig) error 
 	if _, dup := c.fns[spec.Name]; dup {
 		return fmt.Errorf("faas: duplicate function %q", spec.Name)
 	}
-	c.fns[spec.Name] = &function{spec: spec, cfg: cfg, keepAlive: c.cfg.DefaultKeepAlive}
+	c.fns[spec.Name] = &function{spec: spec, cfg: cfg,
+		keepAlive: c.cfg.DefaultKeepAlive, queueLimit: c.cfg.QueueLimit}
 	c.fnOrder = append(c.fnOrder, spec.Name)
 	return nil
 }
@@ -342,21 +372,27 @@ func (c *Cluster) InvokeOpts(name string, opts InvokeOptions, done func(Invocati
 		submitAt:  c.eng.Now(),
 		done:      done,
 		attempt:   opts.Attempt,
+		timeout:   opts.Timeout,
 	}
 	p.span = c.tracer.StartSpan(telemetry.KindInvocation, name, opts.Parent, p.submitAt)
 	if opts.Timeout > 0 {
 		p.timeoutEv = c.eng.After(opts.Timeout, func() { c.timeoutPending(fn, p) })
 	}
-	c.dispatch(fn, p)
+	c.dispatch(fn, p, false)
 	return nil
 }
 
-// dispatch places an invocation on a container or queues it.
-func (c *Cluster) dispatch(fn *function, p *pendingInvocation) {
+// dispatch places an invocation on a container or queues it. requeue marks
+// work that was already admitted (popped by drainQueue, or bounced off a
+// reclaimed container): it re-enters at the queue's front — preserving FIFO
+// order — and is never re-subjected to admission control. It returns false
+// when the invocation was parked in the queue (or shed), true when it is on
+// its way to a container.
+func (c *Cluster) dispatch(fn *function, p *pendingInvocation, requeue bool) bool {
 	limit := fn.cfg.Concurrency
 	if limit > 0 && fn.inFlight >= limit {
-		fn.queue = append(fn.queue, p)
-		return
+		c.enqueue(fn, p, requeue)
+		return false
 	}
 	// 1. Idle warm container → warm start.
 	if len(fn.idle) > 0 {
@@ -364,7 +400,7 @@ func (c *Cluster) dispatch(fn *function, p *pendingInvocation) {
 		fn.idle = fn.idle[:len(fn.idle)-1]
 		fn.inFlight++
 		c.runOn(ct, p, false)
-		return
+		return true
 	}
 	// 2. Unreserved warming container → wait for it (cold experience).
 	if len(fn.warming) > 0 {
@@ -377,14 +413,14 @@ func (c *Cluster) dispatch(fn *function, p *pendingInvocation) {
 			wait = 0
 		}
 		c.eng.After(wait, func() { c.runOn(ct, p, true) })
-		return
+		return true
 	}
 	// 3. New container → cold start.
 	ct := c.spawnContainer(fn, false)
 	if ct == nil {
 		// No capacity anywhere: queue until a container dies.
-		fn.queue = append(fn.queue, p)
-		return
+		c.enqueue(fn, p, requeue)
+		return false
 	}
 	// Reserve it immediately.
 	fn.warming = fn.warming[:len(fn.warming)-1]
@@ -392,6 +428,23 @@ func (c *Cluster) dispatch(fn *function, p *pendingInvocation) {
 	p.ct = ct
 	wait := ct.warmAt - c.eng.Now()
 	c.eng.After(wait, func() { c.runOn(ct, p, true) })
+	return true
+}
+
+// enqueue parks an invocation in the function's queue. Already-admitted
+// work (front=true) re-enters at the head, bypassing admission control;
+// fresh arrivals join the tail after passing the admission policy.
+func (c *Cluster) enqueue(fn *function, p *pendingInvocation, front bool) {
+	if front {
+		fn.queue = append(fn.queue, nil)
+		copy(fn.queue[1:], fn.queue)
+		fn.queue[0] = p
+		return
+	}
+	if !c.admit(fn, p) {
+		return // shed; terminal result already delivered
+	}
+	fn.queue = append(fn.queue, p)
 }
 
 // spawnContainer creates a container on the best invoker, evicting idle
@@ -465,12 +518,13 @@ func (c *Cluster) spawnContainer(fn *function, prewarmed bool) *container {
 }
 
 // pickInvoker returns the invoker with the most free memory that fits memMB.
-// Crashed invokers are routed around until they recover.
+// Crashed invokers — and invokers whose circuit breaker is open — are routed
+// around until they recover.
 func (c *Cluster) pickInvoker(memMB float64) *Invoker {
 	var best *Invoker
 	var bestFree float64
 	for _, iv := range c.invokers {
-		if iv.down {
+		if iv.down || !c.breakerAllows(iv) {
 			continue
 		}
 		free := iv.MemoryCapacityMB - iv.memUsedMB
@@ -529,8 +583,8 @@ func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool
 			c.drainAllQueues()
 		} else {
 			// Benign keep-alive race: the container was reclaimed while
-			// the waiter slept; re-dispatch.
-			c.dispatch(fn, p)
+			// the waiter slept; re-dispatch (already admitted).
+			c.dispatch(fn, p, true)
 		}
 		return
 	}
@@ -586,6 +640,13 @@ func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool
 		iv.cpuBusy -= ct.cfg.CPU
 		fn.busyN--
 		fn.inFlight--
+		// Fold the realized service time into the function's EWMA
+		// (deadline-aware shedding's estimate of "one more run").
+		if fn.execEWMA <= 0 {
+			fn.execEWMA = exec
+		} else {
+			fn.execEWMA = 0.25*exec + 0.75*fn.execEWMA
+		}
 		res := InvocationResult{
 			Function:   fn.spec.Name,
 			SubmitTime: p.submitAt,
@@ -681,6 +742,11 @@ func (c *Cluster) deliver(p *pendingInvocation, res InvocationResult, ct *contai
 		p.timeoutEv = nil
 	}
 	c.metrics.record(res)
+	// Work that reached a container feeds the hosting invoker's circuit
+	// breaker; shed/queued work never touched an invoker and does not.
+	if ct != nil {
+		c.noteInvokerOutcome(ct.invoker, res.Outcome != OutcomeSuccess)
+	}
 	if p.span != 0 {
 		coldF := 0.0
 		if res.ColdStart {
@@ -744,7 +810,9 @@ func warmedAhead(ct *container, now float64) bool {
 	return ct.warmAt <= now && ct.state != stateWarming
 }
 
-// drainQueue dispatches queued invocations while capacity allows.
+// drainQueue dispatches queued invocations while capacity allows. Work that
+// cannot be placed re-enters at the queue's front (FIFO preserved), which
+// also ends the pass: dispatch just proved there is no capacity.
 func (c *Cluster) drainQueue(fn *function) {
 	for len(fn.queue) > 0 {
 		limit := fn.cfg.Concurrency
@@ -759,7 +827,9 @@ func (c *Cluster) drainQueue(fn *function) {
 		}
 		p := fn.queue[0]
 		fn.queue = fn.queue[1:]
-		c.dispatch(fn, p)
+		if !c.dispatch(fn, p, true) {
+			return
+		}
 	}
 }
 
@@ -895,6 +965,12 @@ func (c *Cluster) RecoverInvoker(invoker int) {
 		return
 	}
 	iv.down = false
+	if c.cfg.Breaker.Enabled && iv.breaker.state != breakerClosed {
+		// A recovered invoker starts with a clean slate: the pre-crash
+		// error window says nothing about the fresh instance.
+		iv.breaker.reset()
+		c.breakerEvent(iv, breakerClosed, 0)
+	}
 	c.drainAllQueues()
 }
 

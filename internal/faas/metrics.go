@@ -22,6 +22,9 @@ type Metrics struct {
 	warmStarts        *telemetry.Counter
 	failed            *telemetry.Counter
 	timedOut          *telemetry.Counter
+	shed              *telemetry.Counter
+	breakerOpens      *telemetry.Counter
+	breakerCloses     *telemetry.Counter
 	initFailures      *telemetry.Counter
 	invokerCrashes    *telemetry.Counter
 	cpuTime           *telemetry.Counter
@@ -53,6 +56,9 @@ func NewMetricsOn(reg *telemetry.Registry) *Metrics {
 		warmStarts:        reg.Counter("faas.warm_starts"),
 		failed:            reg.Counter("faas.failed_invocations"),
 		timedOut:          reg.Counter("faas.timedout_invocations"),
+		shed:              reg.Counter("faas.shed_invocations"),
+		breakerOpens:      reg.Counter("faas.breaker_opens"),
+		breakerCloses:     reg.Counter("faas.breaker_closes"),
 		initFailures:      reg.Counter("faas.init_failures"),
 		invokerCrashes:    reg.Counter("faas.invoker_crashes"),
 		cpuTime:           reg.Counter("faas.cpu_time_core_s"),
@@ -75,6 +81,10 @@ func (m *Metrics) record(r InvocationResult) {
 		m.Results = append(m.Results, r)
 	}
 	switch r.Outcome {
+	case OutcomeShed:
+		// Admission rejections never ran: no cost, no latency sample.
+		m.shed.Inc()
+		return
 	case OutcomeFailed, OutcomeTimedOut:
 		if r.Outcome == OutcomeFailed {
 			m.failed.Inc()
@@ -101,6 +111,10 @@ func (m *Metrics) record(r InvocationResult) {
 }
 
 func (m *Metrics) containerCreated() { m.containersCreated.Inc() }
+
+func (m *Metrics) breakerOpened() { m.breakerOpens.Inc() }
+
+func (m *Metrics) breakerClosed() { m.breakerCloses.Inc() }
 
 func (m *Metrics) initFailure() { m.initFailures.Inc() }
 
@@ -142,6 +156,17 @@ func (m *Metrics) FailedInvocations() int { return int(m.failed.Value()) }
 // TimedOutInvocations returns the number of deadline-expired invocations.
 func (m *Metrics) TimedOutInvocations() int { return int(m.timedOut.Value()) }
 
+// ShedInvocations returns the number of invocations rejected by admission
+// control (OutcomeShed).
+func (m *Metrics) ShedInvocations() int { return int(m.shed.Value()) }
+
+// BreakerOpens returns how many times an invoker circuit breaker opened.
+func (m *Metrics) BreakerOpens() int { return int(m.breakerOpens.Value()) }
+
+// BreakerCloses returns how many times an invoker circuit breaker closed
+// again after opening.
+func (m *Metrics) BreakerCloses() int { return int(m.breakerCloses.Value()) }
+
 // InitFailures returns the number of container initialization failures.
 func (m *Metrics) InitFailures() int { return int(m.initFailures.Value()) }
 
@@ -149,9 +174,10 @@ func (m *Metrics) InitFailures() int { return int(m.initFailures.Value()) }
 func (m *Metrics) InvokerCrashes() int { return int(m.invokerCrashes.Value()) }
 
 // Invocations returns the total number of terminally completed invocations,
-// whatever their outcome.
+// whatever their outcome (shed ones included: the caller got an answer).
 func (m *Metrics) Invocations() int {
-	return m.ColdStarts() + m.WarmStarts() + m.FailedInvocations() + m.TimedOutInvocations()
+	return m.ColdStarts() + m.WarmStarts() + m.FailedInvocations() +
+		m.TimedOutInvocations() + m.ShedInvocations()
 }
 
 // ColdStartRate returns the fraction of invocations that were cold starts.
@@ -174,6 +200,9 @@ func (m *Metrics) Reset() {
 	m.warmStarts.Reset()
 	m.failed.Reset()
 	m.timedOut.Reset()
+	m.shed.Reset()
+	m.breakerOpens.Reset()
+	m.breakerCloses.Reset()
 	m.initFailures.Reset()
 	m.invokerCrashes.Reset()
 	m.cpuTime.Reset()

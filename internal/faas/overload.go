@@ -1,0 +1,359 @@
+package faas
+
+import (
+	"fmt"
+
+	"aquatope/internal/telemetry"
+)
+
+// AdmissionPolicy selects what happens when an invocation arrives at a
+// function whose bounded queue (Config.QueueLimit) is already full. All
+// policies keep the queue length at or below the limit — under overload the
+// platform degrades by shedding work instead of letting wait times grow
+// without bound (Fifer-style SLO-aware queuing).
+type AdmissionPolicy int
+
+const (
+	// AdmitRejectNew sheds the arriving invocation (default; classic
+	// bounded-queue tail drop).
+	AdmitRejectNew AdmissionPolicy = iota
+	// AdmitShedOldest sheds the head of the queue — the invocation that
+	// has already waited longest and is therefore closest to its deadline
+	// — and admits the newcomer (head drop).
+	AdmitShedOldest
+	// AdmitDeadlineAware first sheds queued invocations whose remaining
+	// deadline budget is already unmeetable given the function's observed
+	// service time (they would time out anyway; shedding them early frees
+	// queue space without losing goodput). If no queued entry is doomed,
+	// it falls back to rejecting the newcomer.
+	AdmitDeadlineAware
+)
+
+// String returns the policy's wire name (flags, telemetry, reports).
+func (a AdmissionPolicy) String() string {
+	switch a {
+	case AdmitRejectNew:
+		return "reject-new"
+	case AdmitShedOldest:
+		return "shed-oldest"
+	case AdmitDeadlineAware:
+		return "deadline-aware"
+	default:
+		return fmt.Sprintf("admission(%d)", int(a))
+	}
+}
+
+// ParseAdmissionPolicy maps a wire name back to a policy.
+func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) {
+	switch s {
+	case "reject-new", "":
+		return AdmitRejectNew, nil
+	case "shed-oldest":
+		return AdmitShedOldest, nil
+	case "deadline-aware":
+		return AdmitDeadlineAware, nil
+	}
+	return AdmitRejectNew, fmt.Errorf("faas: unknown admission policy %q", s)
+}
+
+// BreakerConfig parameterizes the per-invoker circuit breakers. A breaker
+// watches the terminal outcomes of invocations that ran on its invoker over
+// a sliding window; when the error rate crosses the threshold the breaker
+// opens and pickInvoker routes new containers elsewhere until a cool-down
+// elapses, after which a half-open probe phase readmits the invoker
+// gradually. Zero-valued config (Enabled=false) costs nothing and keeps
+// byte-identical output with pre-breaker builds.
+type BreakerConfig struct {
+	// Enabled turns the breakers on.
+	Enabled bool
+	// Window is the outcome ring-buffer size per invoker (default 20).
+	Window int
+	// ErrorThreshold is the error-rate fraction that opens the breaker
+	// (default 0.5).
+	ErrorThreshold float64
+	// MinSamples gates opening until the window holds at least this many
+	// outcomes (default 8), so one early failure cannot open a breaker.
+	MinSamples int
+	// OpenSec is the cool-down before an open breaker admits half-open
+	// probes (default 30).
+	OpenSec float64
+	// HalfOpenProbes is the number of consecutive successes required to
+	// close a half-open breaker (default 3); any failure reopens it.
+	HalfOpenProbes int
+}
+
+func (b BreakerConfig) withDefaults() BreakerConfig {
+	if b.Window <= 0 {
+		b.Window = 20
+	}
+	if b.ErrorThreshold <= 0 {
+		b.ErrorThreshold = 0.5
+	}
+	if b.MinSamples <= 0 {
+		b.MinSamples = 8
+	}
+	if b.OpenSec <= 0 {
+		b.OpenSec = 30
+	}
+	if b.HalfOpenProbes <= 0 {
+		b.HalfOpenProbes = 3
+	}
+	return b
+}
+
+// breakerState is the classic circuit-breaker state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breaker(%d)", int(s))
+	}
+}
+
+// breaker tracks one invoker's recent outcome window and gate state.
+type breaker struct {
+	state breakerState
+	// ring holds the last cfg.Window outcomes (true = error).
+	ring []bool
+	next int
+	n    int
+	errs int
+	// openedAt is when the breaker last opened (half-open after OpenSec).
+	openedAt float64
+	// probeOK counts consecutive half-open successes.
+	probeOK int
+}
+
+// errRate returns the windowed error fraction.
+func (b *breaker) errRate() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return float64(b.errs) / float64(b.n)
+}
+
+// observe pushes one outcome into the window.
+func (b *breaker) observe(isErr bool) {
+	if len(b.ring) == 0 {
+		return
+	}
+	if b.n == len(b.ring) {
+		if b.ring[b.next] {
+			b.errs--
+		}
+	} else {
+		b.n++
+	}
+	b.ring[b.next] = isErr
+	if isErr {
+		b.errs++
+	}
+	b.next = (b.next + 1) % len(b.ring)
+}
+
+// clearWindow empties the outcome ring — called on every open/close
+// transition so the next state starts judging from fresh evidence instead
+// of re-tripping on the stale window that caused the transition.
+func (b *breaker) clearWindow() {
+	b.next, b.n, b.errs = 0, 0, 0
+}
+
+// reset clears the window and closes the breaker (invoker recovery).
+func (b *breaker) reset() {
+	b.state = breakerClosed
+	b.clearWindow()
+	b.probeOK = 0
+}
+
+// breakerEvent emits the state-transition telemetry point and counters.
+func (c *Cluster) breakerEvent(iv *Invoker, to breakerState, errRate float64) {
+	switch to {
+	case breakerOpen:
+		c.metrics.breakerOpened()
+	case breakerClosed:
+		c.metrics.breakerClosed()
+	}
+	if c.tracer.Enabled() {
+		c.tracer.Point(telemetry.KindBreaker, fmt.Sprintf("invoker%d", iv.ID), 0,
+			c.eng.Now(), telemetry.Fields{
+				"invoker":  float64(iv.ID),
+				"state":    float64(to),
+				"err_rate": errRate,
+			})
+	}
+}
+
+// breakerAllows reports whether the invoker's breaker admits new placements,
+// lazily transitioning open → half-open once the cool-down elapsed.
+func (c *Cluster) breakerAllows(iv *Invoker) bool {
+	if !c.cfg.Breaker.Enabled {
+		return true
+	}
+	b := iv.breaker
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if c.eng.Now()-b.openedAt >= c.cfg.Breaker.OpenSec {
+			b.state = breakerHalfOpen
+			b.probeOK = 0
+			c.breakerEvent(iv, breakerHalfOpen, b.errRate())
+			return true
+		}
+		return false
+	default: // half-open: admit probes
+		return true
+	}
+}
+
+// noteInvokerOutcome feeds one terminal outcome of work that ran on iv into
+// its breaker and drives the state machine.
+func (c *Cluster) noteInvokerOutcome(iv *Invoker, isErr bool) {
+	if !c.cfg.Breaker.Enabled || iv == nil {
+		return
+	}
+	b := iv.breaker
+	b.observe(isErr)
+	switch b.state {
+	case breakerClosed:
+		if b.n >= c.cfg.Breaker.MinSamples && b.errRate() >= c.cfg.Breaker.ErrorThreshold {
+			rate := b.errRate()
+			b.state = breakerOpen
+			b.openedAt = c.eng.Now()
+			b.clearWindow()
+			c.breakerEvent(iv, breakerOpen, rate)
+		}
+	case breakerHalfOpen:
+		if isErr {
+			rate := b.errRate()
+			b.state = breakerOpen
+			b.openedAt = c.eng.Now()
+			b.probeOK = 0
+			b.clearWindow()
+			c.breakerEvent(iv, breakerOpen, rate)
+		} else {
+			b.probeOK++
+			if b.probeOK >= c.cfg.Breaker.HalfOpenProbes {
+				b.state = breakerClosed
+				b.probeOK = 0
+				b.clearWindow()
+				c.breakerEvent(iv, breakerClosed, 0)
+			}
+		}
+	}
+}
+
+// BreakerState returns the named state of an invoker's breaker ("closed"
+// when breakers are disabled or the invoker is unknown).
+func (c *Cluster) BreakerState(invoker int) string {
+	if !c.cfg.Breaker.Enabled || invoker < 0 || invoker >= len(c.invokers) {
+		return breakerClosed.String()
+	}
+	return c.invokers[invoker].breaker.state.String()
+}
+
+// admit applies the function's admission policy to a newly arriving
+// invocation. It returns true when the newcomer may be enqueued; when it
+// returns false the newcomer has already been shed (terminal result
+// delivered). Queue mutations happen before any shed result is delivered so
+// reentrant submissions from done callbacks observe a consistent queue.
+func (c *Cluster) admit(fn *function, p *pendingInvocation) bool {
+	limit := fn.queueLimit
+	if limit <= 0 || len(fn.queue) < limit {
+		return true
+	}
+	switch c.cfg.Admission {
+	case AdmitShedOldest:
+		victim := fn.queue[0]
+		fn.queue = fn.queue[1:]
+		c.shed(fn, victim, "shed-oldest")
+		return true
+	case AdmitDeadlineAware:
+		if c.shedDoomed(fn) > 0 {
+			return true
+		}
+		c.shed(fn, p, "queue-full")
+		return false
+	default: // AdmitRejectNew
+		c.shed(fn, p, "queue-full")
+		return false
+	}
+}
+
+// shedDoomed sheds queued invocations whose deadline cannot be met anymore
+// given the function's observed service time, returning how many were shed.
+// Entries without a deadline are never doomed.
+func (c *Cluster) shedDoomed(fn *function) int {
+	est := fn.execEWMA
+	if est <= 0 {
+		return 0
+	}
+	now := c.eng.Now()
+	kept := fn.queue[:0]
+	var victims []*pendingInvocation
+	for _, q := range fn.queue {
+		if q.timeout > 0 && q.submitAt+q.timeout < now+est {
+			victims = append(victims, q)
+		} else {
+			kept = append(kept, q)
+		}
+	}
+	fn.queue = kept
+	for _, q := range victims {
+		c.shed(fn, q, "deadline-unmeetable")
+	}
+	return len(victims)
+}
+
+// shed delivers a terminal OutcomeShed result for an invocation that was
+// refused admission (or dropped from the queue). The caller must already
+// have removed it from the queue.
+func (c *Cluster) shed(fn *function, p *pendingInvocation, reason string) {
+	c.failPending(fn, p, OutcomeShed, reason, nil)
+}
+
+// QueueDepth returns the number of invocations currently queued for the
+// function (the backpressure signal hedging consults).
+func (c *Cluster) QueueDepth(name string) int {
+	fn, ok := c.fns[name]
+	if !ok {
+		return 0
+	}
+	return len(fn.queue)
+}
+
+// QueueLimitOf returns the function's effective queue bound (0 = unbounded).
+func (c *Cluster) QueueLimitOf(name string) int {
+	fn, ok := c.fns[name]
+	if !ok {
+		return 0
+	}
+	return fn.queueLimit
+}
+
+// SetQueueLimit overrides one function's queue bound (n <= 0 = unbounded),
+// overriding the cluster-wide Config.QueueLimit default.
+func (c *Cluster) SetQueueLimit(name string, n int) error {
+	fn, ok := c.fns[name]
+	if !ok {
+		return fmt.Errorf("faas: unknown function %q", name)
+	}
+	if n < 0 {
+		n = 0
+	}
+	fn.queueLimit = n
+	return nil
+}

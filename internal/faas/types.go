@@ -85,6 +85,11 @@ const (
 	// OutcomeTimedOut is a caller-imposed deadline expiring before the
 	// invocation completed (the container is reclaimed).
 	OutcomeTimedOut
+	// OutcomeShed is an admission-control rejection: the invocation never
+	// ran because the function's bounded queue was full (or, under
+	// deadline-aware shedding, its remaining latency budget was already
+	// unmeetable). Shed work burns no execution resources.
+	OutcomeShed
 )
 
 // String returns the outcome's wire name (used in telemetry and reports).
@@ -96,6 +101,8 @@ func (o Outcome) String() string {
 		return "failed"
 	case OutcomeTimedOut:
 		return "timed-out"
+	case OutcomeShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
@@ -116,7 +123,8 @@ type InvocationResult struct {
 	// actually burned (partial ExecTime) so cost accounting stays honest.
 	Outcome Outcome
 	// FailureReason names the fault for non-success outcomes
-	// ("init-failure", "container-kill", "invoker-crash", "timeout").
+	// ("init-failure", "container-kill", "invoker-crash", "timeout",
+	// "queue-full", "shed-oldest", "deadline-unmeetable").
 	FailureReason string
 	// Attempt is the caller's retry attempt index (0 = first try),
 	// threaded through InvokeOptions for telemetry.

@@ -26,9 +26,53 @@ type Manager struct {
 	// with the invoker instead of waiting out the adjustment interval
 	// (default 1 s — the surviving invokers' spawn latency dominates).
 	RewarmDelaySec float64
+	// Guard, when non-nil, enables degraded-mode fallback: when the
+	// platform sheds heavily or the model's uncertainty band blows past
+	// its calibration bound, pre-warm targets switch from the model's
+	// decisions to a conservative recent-peak rule until the signals stay
+	// clean for RecoverIntervals consecutive ticks.
+	Guard *Guard
 
 	entries []*entry
 	started bool
+	// Degraded-mode state (all zero when Guard is nil).
+	degraded   bool
+	cleanTicks int
+	lastShed   int
+}
+
+// Guard configures degraded-mode fallback (ISSUE: overload protection).
+// The zero value never trips; set at least one trigger.
+type Guard struct {
+	// ShedThreshold trips degraded mode when the platform sheds at least
+	// this many invocations within one adjustment interval (0 = trigger
+	// disabled).
+	ShedThreshold int
+	// UncertaintyFrac trips degraded mode when any managed function's
+	// decision headroom (the policy's uncertainty band) exceeds
+	// UncertaintyFrac × max(1, predicted demand) — the model is guessing,
+	// so its targets are not to be trusted (0 = trigger disabled).
+	UncertaintyFrac float64
+	// PeakWindowMin is the trailing demand window whose peak sets the
+	// degraded pre-warm target (default 10 minutes).
+	PeakWindowMin int
+	// RecoverIntervals is how many consecutive clean ticks restore
+	// model-driven mode (default 3).
+	RecoverIntervals int
+}
+
+func (g *Guard) peakWindow() int {
+	if g.PeakWindowMin <= 0 {
+		return 10
+	}
+	return g.PeakWindowMin
+}
+
+func (g *Guard) recoverIntervals() int {
+	if g.RecoverIntervals <= 0 {
+		return 3
+	}
+	return g.RecoverIntervals
 }
 
 type entry struct {
@@ -88,30 +132,52 @@ func (m *Manager) Start() {
 	var tick func()
 	tick = func() {
 		tr := m.cl.Tracer()
-		for _, e := range m.entries {
-			actual := e.watermark
+		apply := eng.Now() >= m.ApplyAfter
+		// Pass 1: finalize demand history and collect every policy's
+		// decision. Decisions are pure in cluster state (they see only
+		// history), so hoisting them ahead of the applies preserves the
+		// policy and cluster RNG streams exactly.
+		decs := make([]Decision, len(m.entries))
+		actuals := make([]float64, len(m.entries))
+		for i, e := range m.entries {
+			actuals[i] = e.watermark
 			e.history = append(e.history, e.watermark)
 			e.watermark = float64(m.cl.Demand(e.fn))
-			if eng.Now() < m.ApplyAfter {
-				continue
+			if apply {
+				minute := e.offsetMin + len(e.history)
+				decs[i] = e.policy.Decide(e.history, minute)
 			}
-			minute := e.offsetMin + len(e.history)
-			dec := e.policy.Decide(e.history, minute)
-			if dec.KeepAlive > 0 {
-				_ = m.cl.SetKeepAlive(e.fn, dec.KeepAlive)
-			}
-			if dec.Target >= 0 {
-				_ = m.cl.SetPrewarmTarget(e.fn, dec.Target)
-				e.lastTarget = dec.Target
-			}
-			if tr.Enabled() {
-				tr.Point(telemetry.KindPoolDecision, e.fn, 0, eng.Now(), telemetry.Fields{
-					"predicted": dec.Predicted,
-					"headroom":  dec.Headroom,
-					"target":    float64(dec.Target),
-					"keepalive": dec.KeepAlive,
-					"actual":    actual,
-				})
+		}
+		// Guard: trip or recover degraded mode on this tick's evidence.
+		degraded := m.updateGuard(decs, apply, tr)
+		if apply {
+			// Pass 2: apply — in degraded mode the pre-warm target falls
+			// back to the conservative recent-peak rule.
+			for i, e := range m.entries {
+				dec := decs[i]
+				if degraded {
+					dec.Target = m.peakTarget(e)
+				}
+				if dec.KeepAlive > 0 {
+					_ = m.cl.SetKeepAlive(e.fn, dec.KeepAlive)
+				}
+				if dec.Target >= 0 {
+					_ = m.cl.SetPrewarmTarget(e.fn, dec.Target)
+					e.lastTarget = dec.Target
+				}
+				if tr.Enabled() {
+					f := telemetry.Fields{
+						"predicted": dec.Predicted,
+						"headroom":  dec.Headroom,
+						"target":    float64(dec.Target),
+						"keepalive": dec.KeepAlive,
+						"actual":    actuals[i],
+					}
+					if degraded {
+						f["degraded"] = 1
+					}
+					tr.Point(telemetry.KindPoolDecision, e.fn, 0, eng.Now(), f)
+				}
 			}
 		}
 		eng.After(m.IntervalSec, tick)
@@ -145,6 +211,84 @@ func (m *Manager) Start() {
 		})
 	})
 }
+
+// updateGuard drives the degraded-mode state machine on one tick's
+// evidence (platform shed counters and the tick's decisions) and reports
+// whether targets should fall back to the recent-peak rule. Mode changes
+// emit an explicit pool.mode telemetry point.
+func (m *Manager) updateGuard(decs []Decision, apply bool, tr telemetry.Tracer) bool {
+	g := m.Guard
+	if g == nil {
+		return false
+	}
+	// Track the shed counter every tick (training included) so the first
+	// applied tick sees one interval's delta, not the whole training run.
+	shed := m.cl.Metrics().ShedInvocations()
+	newSheds := shed - m.lastShed
+	m.lastShed = shed
+	if !apply {
+		return false
+	}
+	trigger := 0.0 // 1 = admission sheds, 2 = model uncertainty
+	if g.ShedThreshold > 0 && newSheds >= g.ShedThreshold {
+		trigger = 1
+	}
+	if trigger == 0 && g.UncertaintyFrac > 0 {
+		for _, d := range decs {
+			if d.Headroom > g.UncertaintyFrac*math.Max(1, d.Predicted) {
+				trigger = 2
+				break
+			}
+		}
+	}
+	now := m.cl.Engine().Now()
+	if trigger != 0 {
+		m.cleanTicks = 0
+		if !m.degraded {
+			m.degraded = true
+			if tr.Enabled() {
+				tr.Point(telemetry.KindPoolMode, "pool", 0, now, telemetry.Fields{
+					"mode":    1,
+					"trigger": trigger,
+					"sheds":   float64(newSheds),
+				})
+			}
+		}
+	} else if m.degraded {
+		m.cleanTicks++
+		if m.cleanTicks >= g.recoverIntervals() {
+			m.degraded = false
+			if tr.Enabled() {
+				tr.Point(telemetry.KindPoolMode, "pool", 0, now, telemetry.Fields{
+					"mode":    0,
+					"trigger": 0,
+					"sheds":   float64(newSheds),
+				})
+			}
+		}
+	}
+	return m.degraded
+}
+
+// peakTarget is the degraded-mode target: the ceiling of the trailing peak
+// demand over the guard's window.
+func (m *Manager) peakTarget(e *entry) int {
+	w := m.Guard.peakWindow()
+	start := len(e.history) - w
+	if start < 0 {
+		start = 0
+	}
+	peak := 0.0
+	for _, v := range e.history[start:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	return int(math.Ceil(peak))
+}
+
+// Degraded reports whether the manager is currently in degraded mode.
+func (m *Manager) Degraded() bool { return m.degraded }
 
 // DemandSeries computes the per-minute concurrent-demand series implied by
 // a set of arrivals with a given mean service time — the training signal

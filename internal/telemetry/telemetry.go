@@ -51,6 +51,12 @@ const (
 	// KindRetry marks the resilience layer scheduling a retry of a failed
 	// or timed-out invocation (point; child of the stage span).
 	KindRetry = "invocation.retry"
+	// KindBreaker marks a per-invoker circuit-breaker state transition
+	// (point; fields carry the invoker, new state and observed error rate).
+	KindBreaker = "faas.breaker"
+	// KindPoolMode marks the pool manager switching between model-driven
+	// and degraded (recent-peak) pre-warm sizing (point).
+	KindPoolMode = "pool.mode"
 )
 
 // Span is one recorded interval (or point event, when Start == End).

@@ -178,6 +178,20 @@ type RetryPolicy struct {
 	// first attempt after this many seconds (tail-latency hedging). The
 	// first terminal success wins; the hedge counts against MaxAttempts.
 	HedgeDelay float64
+	// RetryBudget, when positive, is a token bucket shared by every stage
+	// call of one workflow execution: each retry or hedge spends a token,
+	// and when the bucket is empty the call fails fast instead of
+	// re-issuing — under saturation the resilience layer stops amplifying
+	// load. Zero preserves unbudgeted (legacy) retries.
+	RetryBudget int
+	// RetryBudgetPerSec refills the bucket while the workflow runs
+	// (capped at RetryBudget); zero means no refill.
+	RetryBudgetPerSec float64
+	// HedgeQueueLimit, when positive, is the backpressure bound on
+	// hedging: a hedge is skipped when the target function's queue depth
+	// is at or above it (a saturated queue makes a duplicate request pure
+	// extra load). Zero hedges unconditionally.
+	HedgeQueueLimit int
 }
 
 // DefaultRetryPolicy returns a conservative production-style policy: three
@@ -239,6 +253,17 @@ type Result struct {
 	Hedges  int
 	// SkippedStages counts stages short-circuited after a failure.
 	SkippedStages int
+	// Sheds counts attempts rejected by platform admission control
+	// (OutcomeShed); ShedStages counts stage instances whose settling
+	// result was a shed — the signal QoS attribution uses to separate
+	// overload rejections from hard faults.
+	Sheds      int
+	ShedStages int
+	// RetriesDenied counts retries suppressed by an exhausted retry
+	// budget; HedgesSkipped counts hedges suppressed by the budget or by
+	// queue-depth backpressure.
+	RetriesDenied int
+	HedgesSkipped int
 }
 
 // Latency returns the end-to-end latency.
@@ -313,6 +338,29 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 	tr := e.Cluster.Tracer()
 	var wfSpan telemetry.SpanID
 	stageSpans := make([]telemetry.SpanID, n)
+	// Retry budget: one token bucket shared by all of this execution's
+	// stage calls. tokens < 0 means unbudgeted (legacy behaviour).
+	tokens := -1.0
+	tokensAt := res.SubmitTime
+	if e.Policy != nil && e.Policy.RetryBudget > 0 {
+		tokens = float64(e.Policy.RetryBudget)
+	}
+	takeBudget := func() bool {
+		if tokens < 0 {
+			return true
+		}
+		now := e.Cluster.Engine().Now()
+		if refill := e.Policy.RetryBudgetPerSec; refill > 0 {
+			tokens = math.Min(float64(e.Policy.RetryBudget),
+				tokens+(now-tokensAt)*refill)
+		}
+		tokensAt = now
+		if tokens >= 1 {
+			tokens--
+			return true
+		}
+		return false
+	}
 	remainingDeps := make([]int, n)
 	pendingInv := make([]int, n) // outstanding invocations per running stage
 	stagesLeft := n
@@ -360,6 +408,9 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 		if !r.OK() {
 			res.Failed = true
 			res.FailedInvocations++
+			if r.Outcome == faas.OutcomeShed {
+				res.ShedStages++
+			}
 		}
 		pendingInv[i]--
 		if pendingInv[i] == 0 {
@@ -414,6 +465,9 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 		}
 		onTerminal = func(r faas.InvocationResult) {
 			cs.outstanding--
+			if r.Outcome == faas.OutcomeShed {
+				res.Sheds++
+			}
 			if cs.settled {
 				return // hedge loser / late completion
 			}
@@ -422,31 +476,44 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 				return
 			}
 			if cs.issued < maxAttempts {
-				// Schedule a retry with capped exponential backoff.
-				k := cs.retries
-				cs.retries++
-				res.Retries++
-				backoff := pol.backoff(k) * e.jitter(pol.JitterFrac)
+				if takeBudget() {
+					// Schedule a retry with capped exponential backoff.
+					k := cs.retries
+					cs.retries++
+					res.Retries++
+					backoff := pol.backoff(k) * e.jitter(pol.JitterFrac)
+					if tr.Enabled() {
+						tr.Point(telemetry.KindRetry, st.Function, stageSpans[i], eng.Now(), telemetry.Fields{
+							"attempt":   float64(cs.issued),
+							"backoff_s": backoff,
+							"outcome":   float64(r.Outcome),
+							"hedge":     0,
+						})
+					}
+					cs.issued++ // commit the slot before the timer fires
+					cs.outstanding++
+					eng.After(backoff, func() {
+						if cs.settled {
+							cs.outstanding--
+							return
+						}
+						cs.issued--
+						cs.outstanding--
+						issue()
+					})
+					return
+				}
+				// Budget exhausted: degrade to fail-fast instead of
+				// amplifying an already-saturated platform.
+				res.RetriesDenied++
 				if tr.Enabled() {
 					tr.Point(telemetry.KindRetry, st.Function, stageSpans[i], eng.Now(), telemetry.Fields{
-						"attempt":   float64(cs.issued),
-						"backoff_s": backoff,
-						"outcome":   float64(r.Outcome),
-						"hedge":     0,
+						"attempt": float64(cs.issued),
+						"outcome": float64(r.Outcome),
+						"hedge":   0,
+						"denied":  1,
 					})
 				}
-				cs.issued++ // commit the slot before the timer fires
-				cs.outstanding++
-				eng.After(backoff, func() {
-					if cs.settled {
-						cs.outstanding--
-						return
-					}
-					cs.issued--
-					cs.outstanding--
-					issue()
-				})
-				return
 			}
 			if cs.outstanding == 0 {
 				// Every attempt exhausted; the last failure settles.
@@ -454,10 +521,41 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 			}
 		}
 		issue()
-		if pol != nil && pol.HedgeDelay > 0 && maxAttempts > 1 {
+		// A shed (or budget-denied) first attempt can settle the call
+		// synchronously inside issue(); arming a hedge then would leak it.
+		if pol != nil && pol.HedgeDelay > 0 && maxAttempts > 1 && !cs.settled {
 			cs.hedgeEv = eng.After(pol.HedgeDelay, func() {
 				cs.hedgeEv = nil
 				if cs.settled || cs.issued >= maxAttempts || cs.outstanding == 0 {
+					return
+				}
+				if lim := pol.HedgeQueueLimit; lim > 0 {
+					if depth := e.Cluster.QueueDepth(st.Function); depth >= lim {
+						// Backpressure: the target queue is saturated, so a
+						// duplicate request is pure extra load.
+						res.HedgesSkipped++
+						if tr.Enabled() {
+							tr.Point(telemetry.KindRetry, st.Function, stageSpans[i], eng.Now(), telemetry.Fields{
+								"attempt":     float64(cs.issued),
+								"outcome":     0,
+								"hedge":       1,
+								"denied":      1,
+								"queue_depth": float64(depth),
+							})
+						}
+						return
+					}
+				}
+				if !takeBudget() {
+					res.HedgesSkipped++
+					if tr.Enabled() {
+						tr.Point(telemetry.KindRetry, st.Function, stageSpans[i], eng.Now(), telemetry.Fields{
+							"attempt": float64(cs.issued),
+							"outcome": 0,
+							"hedge":   1,
+							"denied":  1,
+						})
+					}
 					return
 				}
 				res.Hedges++
