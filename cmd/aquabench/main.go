@@ -21,6 +21,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served behind -pprof
 	"os"
 	"runtime"
 	"time"
@@ -52,7 +55,23 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write telemetry spans from end-to-end experiments as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metric registry snapshot as JSON to this file")
 	benchOut := flag.String("bench-out", "", "write per-experiment wall/busy timing and speedup as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprof listener:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,11 +1,12 @@
 // Command aqualint machine-checks the repository's determinism and
 // simulation-safety invariants (DESIGN.md §8). It is a self-contained
-// static analyzer over go/ast + go/types with four checks:
+// static analyzer over go/ast + go/types with five checks:
 //
 //	wallclock   no time.Now/Since/Sleep/timers in simulation-driven code
 //	globalrand  no math/rand outside internal/stats (seeded RNGs only)
 //	maporder    no order-dependent work inside for-range over a map
 //	droppederr  no silently discarded error results in non-test code
+//	metricname  metric names and span kinds come from the telemetry catalog
 //
 // Suppress a finding on one line with an explained escape hatch:
 //

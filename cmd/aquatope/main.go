@@ -12,12 +12,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 
 	"aquatope/internal/apps"
 	"aquatope/internal/chaos"
 	"aquatope/internal/core"
 	"aquatope/internal/faas"
+	"aquatope/internal/obs"
 	"aquatope/internal/pool"
 	"aquatope/internal/socialgraph"
 	"aquatope/internal/telemetry"
@@ -55,6 +61,7 @@ func main() {
 	chaosName := flag.String("chaos", "", "fault scenario: invoker-crash | container-churn | stragglers | mixed | random (enables the retry/timeout resilience layer)")
 	traceOut := flag.String("trace-out", "", "write telemetry spans as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metric registry snapshot as JSON to this file")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry over HTTP on this address (/metrics Prometheus text, /analysis aquatrace JSON); keeps the process alive after the run until interrupted")
 	flag.Parse()
 
 	app := buildApp(*appName, *seed)
@@ -97,12 +104,53 @@ func main() {
 		cfg.Resilience = &pol
 	}
 	var collector *telemetry.Collector
-	if *traceOut != "" {
+	if *traceOut != "" || *telemetryAddr != "" {
 		collector = telemetry.NewCollector()
 		cfg.Tracer = collector
 	}
 	registry := telemetry.NewRegistry()
 	cfg.Registry = registry
+
+	// dump flushes the telemetry files exactly once, whichever exit path
+	// runs first (normal completion, run error, or an interrupt mid-run) —
+	// a partial dump from a long run is still analyzable.
+	var dumpOnce sync.Once
+	dump := func() {
+		dumpOnce.Do(func() {
+			if collector != nil && *traceOut != "" {
+				if err := collector.WriteJSONLFile(*traceOut); err != nil {
+					fmt.Fprintln(os.Stderr, "writing trace:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", collector.Len(), *traceOut)
+				}
+			}
+			if *metricsOut != "" {
+				if err := registry.WriteJSONFile(*metricsOut); err != nil {
+					fmt.Fprintln(os.Stderr, "writing metrics:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
+				}
+			}
+		})
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		dump()
+		os.Exit(130)
+	}()
+
+	var srv *telemetryServer
+	if *telemetryAddr != "" {
+		var err error
+		srv, err = serveTelemetry(*telemetryAddr, registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry server:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("serving telemetry on http://%s (/metrics, /analysis)\n", srv.addr)
+	}
 	switch *system {
 	case "aquatope":
 		cfg.PoolFactory = aquaPool(false)
@@ -128,6 +176,7 @@ func main() {
 	res, err := core.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
+		dump()
 		os.Exit(1)
 	}
 	ar := res.PerApp[app.Name]
@@ -153,20 +202,62 @@ func main() {
 		}
 	}
 
-	if collector != nil {
-		if err := collector.WriteJSONLFile(*traceOut); err != nil {
-			fmt.Fprintln(os.Stderr, "writing trace:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nwrote %d spans to %s\n", collector.Len(), *traceOut)
+	dump()
+	if srv != nil {
+		snap := registry.Snapshot()
+		srv.publish(obs.Analyze(collector.Spans(), &snap, obs.Options{}))
+		fmt.Printf("\nrun complete; telemetry stays live on http://%s — interrupt to exit\n", srv.addr)
+		select {}
 	}
-	if *metricsOut != "" {
-		if err := registry.WriteJSONFile(*metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "writing metrics:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+}
+
+// telemetryServer is the optional live exposition endpoint: /metrics serves
+// the registry in Prometheus text format (live during the run), /analysis
+// the aquatrace summary JSON (503 until the run completes).
+type telemetryServer struct {
+	addr     string
+	mu       sync.Mutex
+	analysis *obs.Analysis
+}
+
+func (s *telemetryServer) publish(a *obs.Analysis) {
+	s.mu.Lock()
+	s.analysis = a
+	s.mu.Unlock()
+}
+
+func serveTelemetry(addr string, reg *telemetry.Registry) (*telemetryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
 	}
+	s := &telemetryServer{addr: ln.Addr().String()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WritePromText(w); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry: /metrics:", err)
+		}
+	})
+	mux.HandleFunc("/analysis", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		a := s.analysis
+		s.mu.Unlock()
+		if a == nil {
+			http.Error(w, "analysis pending: run still in progress", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := a.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry: /analysis:", err)
+		}
+	})
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry server:", err)
+		}
+	}()
+	return s, nil
 }
 
 func aquaPool(lite bool) core.PolicyFactory {

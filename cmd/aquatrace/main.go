@@ -1,0 +1,124 @@
+// Command aquatrace is the post-hoc trace analysis engine (DESIGN.md §11).
+// It reads a span dump (-trace-out JSONL from cmd/aquatope) and optionally
+// a metrics snapshot (-metrics-out JSON), reconstructs each workflow's
+// critical path, attributes end-to-end latency to phases (queue wait, cold
+// start, execution, retry/hedge overhead, scheduling gap), rebuilds the
+// control-plane decision audit log, and summarizes invoker utilization.
+//
+// The analysis is a pure function of its input files: the same dump always
+// renders byte-identical reports.
+//
+// Usage:
+//
+//	aquatrace -trace spans.jsonl [-metrics metrics.json] [-json out.json]
+//	          [-audit] [-top 5] [-all]
+//
+// By default workflows inside the training window (reconstructed from
+// run.meta spans) are excluded, matching the evaluation convention; -all
+// includes them. -audit replaces the summary with the full chronological
+// decision log. Exit code is 0 on success, 1 when the attribution error
+// bound (1% of end-to-end latency) is exceeded, 2 on usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"aquatope/internal/obs"
+	"aquatope/internal/telemetry"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "span dump to analyze (JSONL, required)")
+	metricsPath := flag.String("metrics", "", "metrics snapshot to fold in (JSON, optional)")
+	jsonOut := flag.String("json", "", "also write the analysis summary as JSON to this path ('-' for stdout)")
+	audit := flag.Bool("audit", false, "print the full decision audit log instead of the summary")
+	topK := flag.Int("top", 5, "top QoS violators to list per app")
+	all := flag.Bool("all", false, "include workflows inside the training window")
+	flag.Parse()
+
+	if *tracePath == "" || flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: aquatrace -trace spans.jsonl [-metrics metrics.json] [-json out.json] [-audit] [-top N] [-all]")
+		os.Exit(2)
+	}
+
+	spans, err := readSpans(*tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aquatrace: %v\n", err)
+		os.Exit(2)
+	}
+	var snap *telemetry.Snapshot
+	if *metricsPath != "" {
+		snap = new(telemetry.Snapshot)
+		if err := readJSONFile(*metricsPath, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "aquatrace: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	a := obs.Analyze(spans, snap, obs.Options{IncludeTraining: *all, TopK: *topK})
+
+	if *audit {
+		if err := a.WriteAudit(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "aquatrace: %v\n", err)
+			os.Exit(2)
+		}
+	} else if err := a.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "aquatrace: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		if err := writeJSONOut(a, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aquatrace: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if a.AttributionError > 0.01 {
+		fmt.Fprintf(os.Stderr, "aquatrace: attribution error %.3g%% exceeds the 1%% bound\n", a.AttributionError*100)
+		os.Exit(1)
+	}
+}
+
+func readSpans(path string) ([]telemetry.Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	spans, err := telemetry.ReadJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spans, nil
+}
+
+func readJSONFile(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func writeJSONOut(a *obs.Analysis, path string) error {
+	if path == "-" {
+		return a.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = a.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

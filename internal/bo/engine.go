@@ -186,10 +186,46 @@ func (e *Engine) ChangeEvents() int { return e.changeEvents }
 func (e *Engine) Suggest() [][]float64 {
 	q := e.cfg.BatchSize
 	if len(e.cleanObservations()) < e.cfg.Bootstrap || !e.fitted {
-		return e.randomBatch(q)
+		batch := e.randomBatch(q)
+		e.traceDecision(batch, true, 0)
+		return batch
 	}
 	cands := e.candidatePool()
-	return e.selectBatch(cands, q)
+	batch := e.selectBatch(cands, q)
+	e.traceDecision(batch, false, len(cands))
+	return batch
+}
+
+// traceDecision emits one bo.decision explain point for a suggested batch:
+// the posterior view behind the first (acquisition-maximizing) pick — cost
+// and latency mean with their uncertainty bands, feasibility probability —
+// plus the batch's provenance (bootstrap vs model-driven, candidate-pool
+// size after QoS pruning). Posterior reads are pure (no RNG draws), so
+// tracing never perturbs a same-seed run; the point's time coordinate is
+// the iteration index, matching bo.iteration.
+func (e *Engine) traceDecision(batch [][]float64, bootstrap bool, candidates int) {
+	if !e.tracer.Enabled() || len(batch) == 0 {
+		return
+	}
+	f := telemetry.Fields{
+		"batch":        float64(len(batch)),
+		"candidates":   float64(candidates),
+		"observations": float64(len(e.obs)),
+		"qos":          e.cfg.QoS,
+	}
+	if bootstrap {
+		f["bootstrap"] = 1
+	} else {
+		f["acquisition"] = e.lastAcq
+		cm, cv := e.costGP.Posterior(batch[0])
+		lm, lv := e.latGP.Posterior(batch[0])
+		f["cost_mean"] = cm
+		f["cost_sd"] = math.Sqrt(cv + 1e-12)
+		f["lat_mean"] = lm
+		f["lat_sd"] = math.Sqrt(lv + 1e-12)
+		f["feasibility"] = e.FeasibilityProbability(batch[0])
+	}
+	e.tracer.Point(telemetry.KindBODecision, "bo", 0, float64(e.iter), f)
 }
 
 func (e *Engine) randomBatch(q int) [][]float64 {

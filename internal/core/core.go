@@ -350,6 +350,18 @@ func Run(cfg Config) (Result, error) {
 
 	// Schedule workflow arrivals for every component over the full trace.
 	trainCut := float64(cfg.TrainMin) * 60
+	if tracer.Enabled() {
+		// One run.meta point per application: the QoS target and training
+		// cutoff that post-hoc analysis (cmd/aquatrace) needs to flag
+		// violators and restrict rollups to the evaluation window.
+		for _, comp := range cfg.Components {
+			tracer.Point(telemetry.KindRunMeta, comp.App.Name, 0, 0, telemetry.Fields{
+				"qos":      comp.App.QoS,
+				"train_s":  trainCut,
+				"invokers": float64(len(cl.Invokers())),
+			})
+		}
+	}
 	type appStats struct {
 		res  *AppResult
 		qos  float64
@@ -361,7 +373,7 @@ func Run(cfg Config) (Result, error) {
 		st := &appStats{
 			res:  &AppResult{ChosenConfig: chosen[comp.App.Name]},
 			qos:  comp.App.QoS,
-			hist: reg.Histogram("workflow.latency_s." + comp.App.Name),
+			hist: reg.Histogram(telemetry.MetricWorkflowLatency + "." + comp.App.Name),
 		}
 		statsByApp[comp.App.Name] = st
 		driver := &loadgen.Driver{

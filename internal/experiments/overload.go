@@ -216,12 +216,12 @@ func Overload(s Scale) OverloadResult {
 					}
 					// Platform shed fraction: shed / all invocation outcomes
 					// (cold + warm + failed + timed-out + shed).
-					shed := reg.Counter("faas.shed_invocations").Value()
+					shed := reg.Counter(telemetry.MetricShedInvocations).Value()
 					attempts := shed +
-						reg.Counter("faas.cold_starts").Value() +
-						reg.Counter("faas.warm_starts").Value() +
-						reg.Counter("faas.failed_invocations").Value() +
-						reg.Counter("faas.timedout_invocations").Value()
+						reg.Counter(telemetry.MetricColdStarts).Value() +
+						reg.Counter(telemetry.MetricWarmStarts).Value() +
+						reg.Counter(telemetry.MetricFailedInvocations).Value() +
+						reg.Counter(telemetry.MetricTimedOutInvocations).Value()
 					shedRate := 0.0
 					if attempts > 0 {
 						shedRate = shed / attempts

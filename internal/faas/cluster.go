@@ -58,6 +58,8 @@ type Invoker struct {
 	// straggle is a multiplicative execution slowdown (chaos straggler
 	// episodes); values <= 1 mean healthy.
 	straggle float64
+	// util holds the invoker's utilization time integrals (utilization.go).
+	util invokerUtil
 }
 
 // MemoryInUseMB returns the memory currently claimed by containers.
@@ -473,8 +475,10 @@ func (c *Cluster) spawnContainer(fn *function, prewarmed bool) *container {
 	if c.faults.InitFailure > 0 && c.faultRNG.Bernoulli(c.faults.InitFailure) {
 		ct.initFailed = true
 	}
+	c.accrueUtil(iv)
 	iv.containers[ct] = struct{}{}
 	iv.memUsedMB += ct.cfg.MemoryMB
+	iv.util.created++
 	fn.warming = append(fn.warming, ct)
 	c.metrics.containerCreated()
 	if c.tracer.Enabled() {
@@ -504,6 +508,7 @@ func (c *Cluster) spawnContainer(fn *function, prewarmed bool) *container {
 					c.faultKillContainer(ct, "init-failure")
 					return
 				}
+				c.accrueUtil(ct.invoker)
 				ct.state = stateIdle
 				ct.fn.warming = append(ct.fn.warming[:i], ct.fn.warming[i+1:]...)
 				ct.fn.idle = append(ct.fn.idle, ct)
@@ -565,6 +570,7 @@ func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool
 			if ct.initFailed {
 				c.faultKillContainer(ct, "init-failure")
 			} else {
+				c.accrueUtil(ct.invoker)
 				ct.state = stateIdle
 				ct.lastUsed = c.eng.Now()
 				fn.idle = append(fn.idle, ct)
@@ -600,6 +606,7 @@ func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool
 		ct.idleTimer.Cancel()
 		ct.idleTimer = nil
 	}
+	c.accrueUtil(ct.invoker)
 	ct.state = stateBusy
 	fn.busyN++
 	cold := coldExperience || !ct.everUsed && !warmedAhead(ct, c.eng.Now())
@@ -635,6 +642,7 @@ func (c *Cluster) runOn(ct *container, p *pendingInvocation, coldExperience bool
 
 	ct.running = p
 	ct.execTimer = c.eng.After(exec, func() {
+		c.accrueUtil(iv)
 		ct.execTimer = nil
 		ct.running = nil
 		iv.cpuBusy -= ct.cfg.CPU
@@ -680,6 +688,7 @@ func (c *Cluster) abortRun(ct *container, p *pendingInvocation, outcome Outcome,
 		ct.execTimer.Cancel()
 		ct.execTimer = nil
 	}
+	c.accrueUtil(iv)
 	ct.running = nil
 	iv.cpuBusy -= ct.cfg.CPU
 	fn.busyN--
@@ -947,6 +956,7 @@ func (c *Cluster) CrashInvoker(invoker int) {
 		}
 	}
 	c.draining = wasDraining
+	c.accrueUtil(iv)
 	iv.cpuBusy = 0
 	for _, f := range c.onInvokerDown {
 		f(invoker)
@@ -1015,9 +1025,11 @@ func (c *Cluster) killContainer(ct *container) {
 		ct.idleTimer.Cancel()
 		ct.idleTimer = nil
 	}
+	c.accrueUtil(ct.invoker)
 	ct.state = stateDead
 	delete(ct.invoker.containers, ct)
 	ct.invoker.memUsedMB -= ct.cfg.MemoryMB
+	ct.invoker.util.killed++
 	c.metrics.containerDied(ct.cfg.MemoryMB, c.eng.Now()-ct.born)
 	if c.tracer.Enabled() {
 		faultF := 0.0
@@ -1054,6 +1066,7 @@ func (c *Cluster) drainAllQueues() {
 // simulation before reading memory-time).
 func (c *Cluster) Flush() {
 	now := c.eng.Now()
+	c.flushUtilization(now)
 	for _, iv := range c.invokers {
 		// Collect and sort before accounting: iterating the pointer-keyed
 		// map directly would sum mem-time in random order and perturb the

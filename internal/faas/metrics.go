@@ -52,23 +52,23 @@ func NewMetricsOn(reg *telemetry.Registry) *Metrics {
 	return &Metrics{
 		KeepResults:       true,
 		reg:               reg,
-		coldStarts:        reg.Counter("faas.cold_starts"),
-		warmStarts:        reg.Counter("faas.warm_starts"),
-		failed:            reg.Counter("faas.failed_invocations"),
-		timedOut:          reg.Counter("faas.timedout_invocations"),
-		shed:              reg.Counter("faas.shed_invocations"),
-		breakerOpens:      reg.Counter("faas.breaker_opens"),
-		breakerCloses:     reg.Counter("faas.breaker_closes"),
-		initFailures:      reg.Counter("faas.init_failures"),
-		invokerCrashes:    reg.Counter("faas.invoker_crashes"),
-		cpuTime:           reg.Counter("faas.cpu_time_core_s"),
-		memTime:           reg.Counter("faas.mem_time_gb_s"),
-		provisionedMem:    reg.Counter("faas.provisioned_mem_time_gb_s"),
-		containersCreated: reg.Counter("faas.containers_created"),
-		containersKilled:  reg.Counter("faas.containers_killed"),
-		latency:           reg.Histogram("faas.invocation.latency_s"),
-		execTime:          reg.Histogram("faas.invocation.exec_s"),
-		waitTime:          reg.Histogram("faas.invocation.wait_s"),
+		coldStarts:        reg.Counter(telemetry.MetricColdStarts),
+		warmStarts:        reg.Counter(telemetry.MetricWarmStarts),
+		failed:            reg.Counter(telemetry.MetricFailedInvocations),
+		timedOut:          reg.Counter(telemetry.MetricTimedOutInvocations),
+		shed:              reg.Counter(telemetry.MetricShedInvocations),
+		breakerOpens:      reg.Counter(telemetry.MetricBreakerOpens),
+		breakerCloses:     reg.Counter(telemetry.MetricBreakerCloses),
+		initFailures:      reg.Counter(telemetry.MetricInitFailures),
+		invokerCrashes:    reg.Counter(telemetry.MetricInvokerCrashes),
+		cpuTime:           reg.Counter(telemetry.MetricCPUTime),
+		memTime:           reg.Counter(telemetry.MetricMemTime),
+		provisionedMem:    reg.Counter(telemetry.MetricProvisionedMemTime),
+		containersCreated: reg.Counter(telemetry.MetricContainersCreated),
+		containersKilled:  reg.Counter(telemetry.MetricContainersKilled),
+		latency:           reg.Histogram(telemetry.MetricInvocationLatency),
+		execTime:          reg.Histogram(telemetry.MetricInvocationExec),
+		waitTime:          reg.Histogram(telemetry.MetricInvocationWait),
 	}
 }
 

@@ -64,6 +64,11 @@ type Config struct {
 //     package allowed to touch math/rand (it wraps it behind the seeded
 //     stats.RNG every other component must use).
 //   - maporder and droppederr apply to all compiled (non-test) files.
+//   - metricname applies to all compiled files except the telemetry
+//     package itself: every metric name and span kind must be built from
+//     a constant in the internal/telemetry catalog (names.go / the Kind*
+//     constants), so the trace analyzer and dashboards never chase
+//     ad-hoc string spellings.
 func DefaultConfig() Config {
 	return Config{Checks: map[string]Rule{
 		"wallclock": {
@@ -80,6 +85,12 @@ func DefaultConfig() Config {
 		},
 		"droppederr": {
 			Include: []string{"..."},
+		},
+		"metricname": {
+			Include: []string{"..."},
+			// The catalog package itself plumbs names through variables
+			// (registry lookups take the name as a parameter).
+			Exclude: []string{"aquatope/internal/telemetry"},
 		},
 	}}
 }

@@ -74,6 +74,7 @@ func Analyzers() []*Analyzer {
 		globalrandAnalyzer,
 		maporderAnalyzer,
 		droppederrAnalyzer,
+		metricnameAnalyzer,
 	}
 }
 

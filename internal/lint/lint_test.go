@@ -95,6 +95,10 @@ func TestDroppederrFixture(t *testing.T) {
 	checkFixture(t, "droppederr.go", "droppederr", true, Rule{})
 }
 
+func TestMetricnameFixture(t *testing.T) {
+	checkFixture(t, "metricname.go", "metricname", true, Rule{Sinks: []string{"fixture/metricname"}})
+}
+
 func TestMalformedDirectivesAreFindings(t *testing.T) {
 	pkg := parseFixture(t, "directive.go", "fixture/directive", false)
 	findings := Run([]*Package{pkg}, Config{Checks: map[string]Rule{}})

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var metricnameAnalyzer = &Analyzer{
+	Name: "metricname",
+	Doc: "require every telemetry metric name and span kind to be built " +
+		"from a constant in the central catalog (internal/telemetry), so " +
+		"dashboards and the trace analyzer never chase ad-hoc strings",
+	NeedsTypes: true,
+	Run:        runMetricName,
+}
+
+// metricnameEntryPoints are the telemetry calls whose first argument names
+// a metric or span kind: registry lookups and tracer emissions.
+var metricnameEntryPoints = map[string]bool{
+	"Counter":          true,
+	"Gauge":            true,
+	"Histogram":        true,
+	"HistogramBuckets": true,
+	"Point":            true,
+	"StartSpan":        true,
+}
+
+// metricnameCatalog is the default catalog package: names are valid when
+// they are built from a constant it declares.
+var metricnameCatalog = []string{"aquatope/internal/telemetry"}
+
+func runMetricName(pkg *Package, file *File, rule Rule, report Reporter) {
+	catalog := rule.Sinks
+	if len(catalog) == 0 {
+		catalog = metricnameCatalog
+	}
+	info := pkg.Info
+	ast.Inspect(file.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !metricnameEntryPoints[sel.Sel.Name] {
+			return true
+		}
+		path, name := calleePackage(info, sel)
+		if path == "" || !pathInCatalog(path, catalog) {
+			return true
+		}
+		if usesCatalogConst(info, call.Args[0], catalog) {
+			return true
+		}
+		report(call.Args[0].Pos(),
+			"%s.%s name is not built from a catalog constant; add it to internal/telemetry/names.go so every emission shares one spelling",
+			shortPkg(path), name)
+		return true
+	})
+}
+
+func pathInCatalog(path string, catalog []string) bool {
+	for _, g := range catalog {
+		if matchGlob(g, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// usesCatalogConst reports whether the expression contains an identifier
+// resolving to a constant declared in a catalog package — e.g. the name
+// itself, or a "<const> + suffix" composition for per-entity metrics.
+func usesCatalogConst(info *types.Info, e ast.Expr, catalog []string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if c, ok := obj.(*types.Const); ok && c.Pkg() != nil && pathInCatalog(c.Pkg().Path(), catalog) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

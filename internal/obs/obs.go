@@ -1,0 +1,561 @@
+// Package obs is the post-hoc trace-analysis engine (DESIGN.md §11): a set
+// of pure functions over recorded span streams and metric snapshots that
+// reconstruct each workflow invocation's span tree, attribute its
+// end-to-end latency to named phases (queue wait, cold start, execution,
+// retry overhead, scheduling gap) along the critical stage chain, roll the
+// attributions up per application and per stage, reconstruct the pool/BO
+// decision audit log, and summarize fleet utilization.
+//
+// Everything here is deterministic: the input span stream is ordered by
+// creation (telemetry.Collector guarantees it), analysis only iterates
+// slices and sorted keys, and the renderers use fixed-precision formats —
+// so repeated runs over the same dump are byte-identical (tested).
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aquatope/internal/telemetry"
+)
+
+// Phases is one latency attribution: how much of an interval was spent in
+// each named phase. All values are simulated seconds.
+type Phases struct {
+	// Queue is time spent waiting for admission, concurrency slots or
+	// container capacity.
+	Queue float64 `json:"queue_s"`
+	// Cold is time spent waiting on container initialization.
+	Cold float64 `json:"cold_s"`
+	// Exec is execution time on the critical path.
+	Exec float64 `json:"exec_s"`
+	// Retry is overhead of failed attempts and backoff before the attempt
+	// that settled a stage.
+	Retry float64 `json:"retry_s"`
+	// Sched is the residual scheduling gap: inter-stage handoff, time not
+	// covered by any invocation, and float dust from reconstruction.
+	Sched float64 `json:"sched_s"`
+}
+
+// Total returns the sum over phases.
+func (p Phases) Total() float64 { return p.Queue + p.Cold + p.Exec + p.Retry + p.Sched }
+
+// clean snaps float-dust residues (magnitude below 1e-9) to exactly zero so
+// aggregates don't render as "-0.000".
+func (p *Phases) clean() {
+	for _, v := range []*float64{&p.Queue, &p.Cold, &p.Exec, &p.Retry, &p.Sched} {
+		if math.Abs(*v) < 1e-9 {
+			*v = 0
+		}
+	}
+}
+
+func (p *Phases) add(q Phases) {
+	p.Queue += q.Queue
+	p.Cold += q.Cold
+	p.Exec += q.Exec
+	p.Retry += q.Retry
+	p.Sched += q.Sched
+}
+
+// StageAttr is the attribution of one stage on the critical chain.
+type StageAttr struct {
+	Stage    string  `json:"stage"`
+	Function string  `json:"function,omitempty"`
+	Start    float64 `json:"start_s"`
+	End      float64 `json:"end_s"`
+	// Attempt is the settling invocation's retry attempt (0 = first try).
+	Attempt int `json:"attempt,omitempty"`
+	// Cold marks a cold-started settling invocation.
+	Cold bool `json:"cold,omitempty"`
+	// Outcome is the settling invocation's faas outcome code (0 success).
+	Outcome int `json:"outcome,omitempty"`
+	// Skipped marks a stage short-circuited by upstream failure.
+	Skipped bool   `json:"skipped,omitempty"`
+	Phases  Phases `json:"phases"`
+}
+
+// Attribution is the per-workflow result of critical-path extraction.
+type Attribution struct {
+	SpanID  telemetry.SpanID `json:"span"`
+	App     string           `json:"app"`
+	Start   float64          `json:"start_s"`
+	Latency float64          `json:"latency_s"`
+	// Failed marks a workflow whose critical path settled on a
+	// non-success outcome or skipped stages.
+	Failed bool `json:"failed,omitempty"`
+	// Violation marks a QoS miss (latency above the app's target, or a
+	// failed workflow when a target is known).
+	Violation bool   `json:"violation,omitempty"`
+	Phases    Phases `json:"phases"`
+	// Critical is the stage chain the end-to-end latency decomposes over.
+	Critical []StageAttr `json:"critical_path,omitempty"`
+}
+
+// runMeta is the per-app run.meta record (QoS target, training cutoff).
+type runMeta struct {
+	qos    float64
+	trainS float64
+	seen   bool
+}
+
+// forest indexes one span dump for attribution.
+type forest struct {
+	spans    []telemetry.Span
+	children map[telemetry.SpanID][]int // parent span ID → child indices
+	// initTimes maps "function#containerID" → init_s from container.create
+	// points, so cold wait can be split from queueing wait.
+	initTimes map[string]float64
+	meta      map[string]runMeta
+}
+
+func buildForest(spans []telemetry.Span) *forest {
+	f := &forest{
+		spans:     spans,
+		children:  make(map[telemetry.SpanID][]int),
+		initTimes: make(map[string]float64),
+		meta:      make(map[string]runMeta),
+	}
+	for i, sp := range spans {
+		if sp.Parent != 0 {
+			f.children[sp.Parent] = append(f.children[sp.Parent], i)
+		}
+		switch sp.Kind {
+		case telemetry.KindContainerCreate:
+			f.initTimes[containerKey(sp.Name, sp.Fields["container"])] = sp.Fields["init_s"]
+		case telemetry.KindRunMeta:
+			f.meta[sp.Name] = runMeta{qos: sp.Fields["qos"], trainS: sp.Fields["train_s"], seen: true}
+		}
+	}
+	return f
+}
+
+func containerKey(fn string, id float64) string {
+	return fn + "#" + strconv.FormatFloat(id, 'g', -1, 64)
+}
+
+// attribute decomposes one workflow span's end-to-end latency.
+//
+// Phase attribution rules (DESIGN.md §11):
+//
+//  1. The critical chain starts at the latest-ending stage child and walks
+//     backwards through stages whose end time equals the current stage's
+//     start time — exact float equality, valid because a gated stage is
+//     launched in the same simulation event that ends its last dependency.
+//  2. Each chain stage is settled by its latest-ending invocation child
+//     that ended by the stage's end (hedge losers end later and are
+//     excluded). The settling invocation's wait splits into cold-start
+//     wait (bounded by the container's recorded init time) and queue wait;
+//     its pre-gap from stage start is retry overhead when it is a retry
+//     attempt (attempt > 0), scheduling gap otherwise.
+//  3. Whatever the chain's invocations do not cover — inter-stage gaps,
+//     head/tail gaps, within-stage residue — is a scheduling gap, so the
+//     phases telescope to the measured end-to-end latency.
+func (f *forest) attribute(wfIdx int) Attribution {
+	wf := f.spans[wfIdx]
+	a := Attribution{
+		SpanID:  wf.ID,
+		App:     wf.Name,
+		Start:   wf.Start,
+		Latency: wf.End - wf.Start,
+	}
+	// Collect stage children.
+	var stages []telemetry.Span
+	for _, ci := range f.children[wf.ID] {
+		sp := f.spans[ci]
+		if sp.Kind == telemetry.KindStage {
+			stages = append(stages, sp)
+		}
+		if sp.Kind == telemetry.KindStage && sp.Fields["skipped"] == 1 {
+			a.Failed = true
+		}
+	}
+	if len(stages) == 0 {
+		a.Phases.Sched = a.Latency
+		return a
+	}
+	chain := criticalChain(stages)
+	// Head gap: workflow submit to first chain stage launch.
+	a.Phases.Sched += dust(chain[0].Start - wf.Start)
+	prevEnd := chain[0].Start
+	for _, st := range chain {
+		// Inter-stage gap (exact-equality chaining makes this 0; it is
+		// nonzero only when the chain walk found no predecessor).
+		a.Phases.Sched += dust(st.Start - prevEnd)
+		sa := f.attributeStage(st)
+		if sa.Outcome != 0 || sa.Skipped {
+			a.Failed = true
+		}
+		a.Phases.add(sa.Phases)
+		a.Critical = append(a.Critical, sa)
+		prevEnd = st.End
+	}
+	// Tail gap: last chain stage to workflow end.
+	a.Phases.Sched += dust(wf.End - prevEnd)
+	a.Phases.clean()
+	return a
+}
+
+// criticalChain returns the workflow's critical stage chain in execution
+// order: from the latest-ending stage, walk predecessors whose End equals
+// the current Start (ties broken toward the highest span ID — the span
+// started last).
+func criticalChain(stages []telemetry.Span) []telemetry.Span {
+	cur := stages[0]
+	for _, st := range stages[1:] {
+		if st.End > cur.End || (st.End == cur.End && st.ID > cur.ID) {
+			cur = st
+		}
+	}
+	chain := []telemetry.Span{cur}
+	used := map[telemetry.SpanID]bool{cur.ID: true}
+	for len(chain) <= len(stages) {
+		var pred telemetry.Span
+		found := false
+		for _, st := range stages {
+			if used[st.ID] || st.End != cur.Start {
+				continue
+			}
+			if !found || st.ID > pred.ID {
+				pred, found = st, true
+			}
+		}
+		if !found {
+			break
+		}
+		used[pred.ID] = true
+		chain = append(chain, pred)
+		cur = pred
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// attributeStage decomposes one chain stage via its settling invocation.
+func (f *forest) attributeStage(st telemetry.Span) StageAttr {
+	sa := StageAttr{Stage: st.Name, Start: st.Start, End: st.End}
+	if st.Fields["skipped"] == 1 {
+		sa.Skipped = true
+		return sa
+	}
+	// Settling invocation: latest-ending invocation child that ended by
+	// the stage's end (hedge losers run past it), ties toward highest ID.
+	var inv telemetry.Span
+	found := false
+	for _, ci := range f.children[st.ID] {
+		sp := f.spans[ci]
+		if sp.Kind != telemetry.KindInvocation || sp.End > st.End+1e-9 {
+			continue
+		}
+		if !found || sp.End > inv.End || (sp.End == inv.End && sp.ID > inv.ID) {
+			inv, found = sp, true
+		}
+	}
+	if !found {
+		// Nothing settled inside the stage window: all scheduling gap.
+		sa.Phases.Sched = dust(st.End - st.Start)
+		return sa
+	}
+	sa.Function = inv.Name
+	sa.Attempt = int(inv.Fields["attempt"])
+	sa.Outcome = int(inv.Fields["outcome"])
+	wait := inv.Fields["wait_s"]
+	exec := inv.Fields["exec_s"]
+	cold := 0.0
+	if inv.Fields["cold"] == 1 {
+		sa.Cold = true
+		// The cold share of the wait is bounded by the container's init
+		// time; the rest of the wait is queueing ahead of it. Without a
+		// recorded init time the whole wait counts as cold.
+		cold = wait
+		if init, ok := f.initTimes[containerKey(inv.Name, inv.Fields["container"])]; ok {
+			cold = math.Min(wait, init)
+		}
+	}
+	sa.Phases.Cold = cold
+	sa.Phases.Queue = dust(wait - cold)
+	sa.Phases.Exec = exec
+	// Pre-gap: stage launch to invocation submit. Zero for the first
+	// attempt (submission is synchronous); for retries it is the failed
+	// attempts plus backoff — retry/hedge overhead.
+	preGap := dust(inv.Start - st.Start)
+	if sa.Attempt > 0 {
+		sa.Phases.Retry = preGap
+	} else {
+		sa.Phases.Sched += preGap
+	}
+	// Residue: covered span geometry vs reported wait/exec (float dust),
+	// plus any stage time past the settling invocation.
+	sa.Phases.Sched += (inv.End - st.Start) - (preGap + wait + exec)
+	sa.Phases.Sched += dust(st.End - inv.End)
+	sa.Phases.clean()
+	return sa
+}
+
+// dust clamps small negative float residues to zero (they arise from
+// re-associated additions, not real intervals).
+func dust(v float64) float64 {
+	if v < 0 && v > -1e-6 {
+		return 0
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+
+// StageRollup aggregates critical-path attributions of one stage.
+type StageRollup struct {
+	Stage string `json:"stage"`
+	// OnPath counts how often the stage sat on the critical chain.
+	OnPath int    `json:"on_path"`
+	Phases Phases `json:"phases"`
+}
+
+// AppAnalysis is the per-application rollup.
+type AppAnalysis struct {
+	App string `json:"app"`
+	// QoS is the app's latency target (0 when no run.meta was recorded).
+	QoS         float64 `json:"qos_s,omitempty"`
+	Workflows   int     `json:"workflows"`
+	Failed      int     `json:"failed"`
+	Violations  int     `json:"violations"`
+	MeanLatency float64 `json:"mean_latency_s"`
+	MaxLatency  float64 `json:"max_latency_s"`
+	// Phases sums attribution over the app's analyzed workflows.
+	Phases Phases        `json:"phases"`
+	Stages []StageRollup `json:"stages,omitempty"`
+	// TopViolators are the worst QoS-missing workflows, latency
+	// descending (bounded by Options.TopK).
+	TopViolators []Attribution `json:"top_violators,omitempty"`
+}
+
+// Analysis is the full result of analyzing one dump.
+type Analysis struct {
+	Spans     int `json:"spans"`
+	Workflows int `json:"workflows"`
+	// SkippedTraining counts workflows excluded for starting before the
+	// app's training cutoff.
+	SkippedTraining int             `json:"skipped_training,omitempty"`
+	Apps            []AppAnalysis   `json:"apps"`
+	Decisions       DecisionSummary `json:"decisions"`
+	Utilization     *Utilization    `json:"utilization,omitempty"`
+	// AttributionError is the maximum relative |Σphases − latency| over
+	// analyzed workflows (the acceptance bound is 1%).
+	AttributionError float64 `json:"attribution_error"`
+
+	// Attributions holds every analyzed workflow's attribution, span
+	// order. Kept out of the JSON summary (it can be huge); tests and
+	// library callers read it directly.
+	Attributions []Attribution `json:"-"`
+	// Audit is the full decision audit log, span order (rendered by
+	// WriteAudit, kept out of the JSON summary).
+	Audit []DecisionRecord `json:"-"`
+}
+
+// Options tunes Analyze.
+type Options struct {
+	// IncludeTraining keeps workflows submitted before each app's
+	// training cutoff (run.meta train_s) in the rollups.
+	IncludeTraining bool
+	// TopK bounds the per-app top-violators list (default 5).
+	TopK int
+}
+
+// Analyze runs the full analysis over a span dump and an optional metric
+// snapshot. It is a pure function of its inputs.
+func Analyze(spans []telemetry.Span, snap *telemetry.Snapshot, opts Options) *Analysis {
+	if opts.TopK <= 0 {
+		opts.TopK = 5
+	}
+	f := buildForest(spans)
+	a := &Analysis{Spans: len(spans)}
+	byApp := make(map[string]*AppAnalysis)
+	stagesByApp := make(map[string]map[string]*StageRollup)
+	var appOrder []string
+	for i, sp := range spans {
+		if sp.Kind != telemetry.KindWorkflow {
+			continue
+		}
+		a.Workflows++
+		meta := f.meta[sp.Name]
+		if !opts.IncludeTraining && meta.seen && sp.Start < meta.trainS {
+			a.SkippedTraining++
+			continue
+		}
+		attr := f.attribute(i)
+		if meta.qos > 0 && (attr.Latency > meta.qos || attr.Failed) {
+			attr.Violation = true
+		}
+		a.Attributions = append(a.Attributions, attr)
+		app, ok := byApp[sp.Name]
+		if !ok {
+			app = &AppAnalysis{App: sp.Name, QoS: meta.qos}
+			byApp[sp.Name] = app
+			stagesByApp[sp.Name] = make(map[string]*StageRollup)
+			appOrder = append(appOrder, sp.Name)
+		}
+		app.Workflows++
+		if attr.Failed {
+			app.Failed++
+		}
+		if attr.Violation {
+			app.Violations++
+		}
+		app.Phases.add(attr.Phases)
+		if attr.Latency > app.MaxLatency {
+			app.MaxLatency = attr.Latency
+		}
+		app.MeanLatency += attr.Latency // sum for now; divided below
+		for _, sa := range attr.Critical {
+			r, ok := stagesByApp[sp.Name][sa.Stage]
+			if !ok {
+				r = &StageRollup{Stage: sa.Stage}
+				stagesByApp[sp.Name][sa.Stage] = r
+			}
+			r.OnPath++
+			r.Phases.add(sa.Phases)
+		}
+		if err := relErr(attr.Phases.Total(), attr.Latency); err > a.AttributionError {
+			a.AttributionError = err
+		}
+	}
+	sort.Strings(appOrder)
+	for _, name := range appOrder {
+		app := byApp[name]
+		if app.Workflows > 0 {
+			app.MeanLatency /= float64(app.Workflows)
+		}
+		names := make([]string, 0, len(stagesByApp[name]))
+		for s := range stagesByApp[name] {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		for _, s := range names {
+			app.Stages = append(app.Stages, *stagesByApp[name][s])
+		}
+		app.TopViolators = topViolators(a.Attributions, name, opts.TopK)
+		a.Apps = append(a.Apps, *app)
+	}
+	a.Audit, a.Decisions = buildAudit(spans)
+	if snap != nil {
+		a.Utilization = utilizationFrom(snap)
+	}
+	return a
+}
+
+func relErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if want <= 1e-9 {
+		return d
+	}
+	return d / want
+}
+
+// topViolators returns the k worst violating workflows of one app, latency
+// descending (ties toward the earlier span: stable deterministic order).
+func topViolators(attrs []Attribution, app string, k int) []Attribution {
+	var v []Attribution
+	for _, at := range attrs {
+		if at.App == app && at.Violation {
+			v = append(v, at)
+		}
+	}
+	sort.SliceStable(v, func(i, j int) bool { return v[i].Latency > v[j].Latency })
+	if len(v) > k {
+		v = v[:k]
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+
+// InvokerUtil is one invoker's utilization summary extracted from the
+// metric snapshot (see internal/faas utilization gauges).
+type InvokerUtil struct {
+	Invoker    int     `json:"invoker"`
+	BusyS      float64 `json:"busy_s"`
+	IdleS      float64 `json:"idle_s"`
+	ActiveS    float64 `json:"active_s"`
+	CPUCoreS   float64 `json:"cpu_core_s"`
+	MemGBs     float64 `json:"mem_gb_s"`
+	WarmSpareS float64 `json:"warm_spare_s"`
+	Created    int     `json:"containers_created"`
+	Killed     int     `json:"containers_killed"`
+}
+
+// Utilization is the fleet utilization section of an analysis.
+type Utilization struct {
+	Invokers          []InvokerUtil `json:"invokers,omitempty"`
+	BinPackEfficiency float64       `json:"binpack_efficiency"`
+	FleetCPUUtil      float64       `json:"fleet_cpu_util"`
+}
+
+// utilizationFrom extracts the per-invoker utilization gauges from a
+// snapshot. Gauge names are "<base>.<invokerID>".
+func utilizationFrom(snap *telemetry.Snapshot) *Utilization {
+	u := &Utilization{
+		BinPackEfficiency: snap.Gauges[telemetry.MetricBinPackEfficiency],
+		FleetCPUUtil:      snap.Gauges[telemetry.MetricFleetCPUUtil],
+	}
+	byID := make(map[int]*InvokerUtil)
+	ids := make([]int, 0)
+	get := func(id int) *InvokerUtil {
+		iv, ok := byID[id]
+		if !ok {
+			iv = &InvokerUtil{Invoker: id}
+			byID[id] = iv
+			ids = append(ids, id)
+		}
+		return iv
+	}
+	for name, v := range snap.Gauges {
+		base, id, ok := splitEntity(name)
+		if !ok {
+			continue
+		}
+		switch base {
+		case telemetry.MetricInvokerBusyS:
+			get(id).BusyS = v
+		case telemetry.MetricInvokerIdleS:
+			get(id).IdleS = v
+		case telemetry.MetricInvokerActiveS:
+			get(id).ActiveS = v
+		case telemetry.MetricInvokerCPUCoreS:
+			get(id).CPUCoreS = v
+		case telemetry.MetricInvokerMemGBs:
+			get(id).MemGBs = v
+		case telemetry.MetricInvokerWarmSpareS:
+			get(id).WarmSpareS = v
+		case telemetry.MetricInvokerCreated:
+			get(id).Created = int(v)
+		case telemetry.MetricInvokerKilled:
+			get(id).Killed = int(v)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		u.Invokers = append(u.Invokers, *byID[id])
+	}
+	if len(u.Invokers) == 0 && u.BinPackEfficiency == 0 && u.FleetCPUUtil == 0 {
+		return nil
+	}
+	return u
+}
+
+// splitEntity splits "faas.invoker.busy_s.3" into base and entity ID.
+func splitEntity(name string) (base string, id int, ok bool) {
+	i := strings.LastIndex(name, ".")
+	if i < 0 {
+		return "", 0, false
+	}
+	id, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i], id, true
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"aquatope/internal/telemetry"
+)
+
+// span is a compact hand-built span constructor for tests.
+func span(id, parent telemetry.SpanID, kind, name string, start, end float64, f telemetry.Fields) telemetry.Span {
+	return telemetry.Span{ID: id, Parent: parent, Kind: kind, Name: name, Start: start, End: end, Fields: f}
+}
+
+// testTrace builds a two-stage workflow [0,10] for app "app" (QoS 8s):
+//
+//	s0 [0,4]: cold invocation, wait 1 (all init), exec 3
+//	s1 [4,10]: retry attempt starting at 5 (1s retry overhead),
+//	           wait 1 (queueing), exec 4; plus a hedge loser ending at 10.5
+//
+// Expected attribution: cold 1 + exec 7 + retry 1 + queue 1 = 10 = latency.
+func testTrace() []telemetry.Span {
+	return []telemetry.Span{
+		span(1, 0, telemetry.KindRunMeta, "app", 0, 0,
+			telemetry.Fields{"qos": 8, "train_s": 0, "invokers": 1}),
+		span(2, 0, telemetry.KindContainerCreate, "fa", 0, 0,
+			telemetry.Fields{"container": 0, "init_s": 1, "invoker": 0, "mem_mb": 128}),
+		span(3, 0, telemetry.KindWorkflow, "app", 0, 10, nil),
+		span(4, 3, telemetry.KindStage, "s0", 0, 4,
+			telemetry.Fields{"invocations": 1}),
+		span(5, 4, telemetry.KindInvocation, "fa", 0, 4,
+			telemetry.Fields{"cold": 1, "wait_s": 1, "exec_s": 3, "container": 0, "outcome": 0}),
+		span(6, 3, telemetry.KindStage, "s1", 4, 10,
+			telemetry.Fields{"invocations": 2}),
+		span(7, 6, telemetry.KindInvocation, "fb", 5, 10,
+			telemetry.Fields{"attempt": 1, "wait_s": 1, "exec_s": 4, "container": 1, "outcome": 0}),
+		// Hedge loser: ends after the stage, must not settle it.
+		span(8, 6, telemetry.KindInvocation, "fb", 5, 10.5,
+			telemetry.Fields{"hedge": 1, "wait_s": 1.5, "exec_s": 4, "container": 2, "outcome": 0}),
+	}
+}
+
+func TestAttributionTwoStage(t *testing.T) {
+	a := Analyze(testTrace(), nil, Options{})
+	if a.Workflows != 1 || len(a.Attributions) != 1 {
+		t.Fatalf("workflows = %d, attributions = %d, want 1", a.Workflows, len(a.Attributions))
+	}
+	at := a.Attributions[0]
+	if at.Latency != 10 {
+		t.Fatalf("latency = %g, want 10", at.Latency)
+	}
+	want := Phases{Queue: 1, Cold: 1, Exec: 7, Retry: 1, Sched: 0}
+	if at.Phases != want {
+		t.Fatalf("phases = %+v, want %+v", at.Phases, want)
+	}
+	if got := at.Phases.Total(); math.Abs(got-at.Latency) > 1e-9 {
+		t.Fatalf("phase total %g != latency %g", got, at.Latency)
+	}
+	if len(at.Critical) != 2 || at.Critical[0].Stage != "s0" || at.Critical[1].Stage != "s1" {
+		t.Fatalf("critical chain = %+v, want [s0 s1]", at.Critical)
+	}
+	if !at.Critical[0].Cold || at.Critical[0].Function != "fa" {
+		t.Fatalf("s0 attribution = %+v, want cold fa", at.Critical[0])
+	}
+	if at.Critical[1].Attempt != 1 || at.Critical[1].Phases.Retry != 1 {
+		t.Fatalf("s1 attribution = %+v, want retry attempt 1", at.Critical[1])
+	}
+	// Latency 10 > QoS 8 → violation, surfaced in the app rollup.
+	if !at.Violation {
+		t.Fatal("expected a QoS violation")
+	}
+	if len(a.Apps) != 1 || a.Apps[0].Violations != 1 || len(a.Apps[0].TopViolators) != 1 {
+		t.Fatalf("app rollup = %+v, want 1 violation listed", a.Apps)
+	}
+	if a.AttributionError > 1e-9 {
+		t.Fatalf("attribution error = %g, want 0", a.AttributionError)
+	}
+}
+
+func TestCriticalChainPicksLongestBranch(t *testing.T) {
+	// Fan-out: s0 [0,2] feeds s1 [2,3] and s2 [2,6]; join s3 [6,7] starts
+	// when s2 (the slower branch) ends. Chain must be s0→s2→s3.
+	spans := []telemetry.Span{
+		span(1, 0, telemetry.KindWorkflow, "app", 0, 7, nil),
+		span(2, 1, telemetry.KindStage, "s0", 0, 2, nil),
+		span(3, 1, telemetry.KindStage, "s1", 2, 3, nil),
+		span(4, 1, telemetry.KindStage, "s2", 2, 6, nil),
+		span(5, 1, telemetry.KindStage, "s3", 6, 7, nil),
+	}
+	a := Analyze(spans, nil, Options{})
+	at := a.Attributions[0]
+	var names []string
+	for _, sa := range at.Critical {
+		names = append(names, sa.Stage)
+	}
+	if len(names) != 3 || names[0] != "s0" || names[1] != "s2" || names[2] != "s3" {
+		t.Fatalf("critical chain = %v, want [s0 s2 s3]", names)
+	}
+	// No invocations recorded: everything is scheduling gap, still
+	// telescoping to the full latency.
+	if math.Abs(at.Phases.Total()-7) > 1e-9 || math.Abs(at.Phases.Sched-7) > 1e-9 {
+		t.Fatalf("phases = %+v, want sched 7", at.Phases)
+	}
+}
+
+func TestSkippedStageMarksFailure(t *testing.T) {
+	spans := []telemetry.Span{
+		span(1, 0, telemetry.KindRunMeta, "app", 0, 0, telemetry.Fields{"qos": 8, "train_s": 0}),
+		span(2, 0, telemetry.KindWorkflow, "app", 0, 3, nil),
+		span(3, 2, telemetry.KindStage, "s0", 0, 3, nil),
+		span(4, 3, telemetry.KindInvocation, "fa", 0, 3,
+			telemetry.Fields{"wait_s": 1, "exec_s": 2, "outcome": 2, "container": 0}),
+		span(5, 2, telemetry.KindStage, "s1", 3, 3, telemetry.Fields{"skipped": 1, "invocations": 0}),
+	}
+	a := Analyze(spans, nil, Options{})
+	at := a.Attributions[0]
+	if !at.Failed || !at.Violation {
+		t.Fatalf("attribution = %+v, want failed+violation", at)
+	}
+	if a.Apps[0].Failed != 1 {
+		t.Fatalf("app failed = %d, want 1", a.Apps[0].Failed)
+	}
+}
+
+func TestTrainingWindowFilter(t *testing.T) {
+	spans := []telemetry.Span{
+		span(1, 0, telemetry.KindRunMeta, "app", 0, 0, telemetry.Fields{"qos": 8, "train_s": 60}),
+		span(2, 0, telemetry.KindWorkflow, "app", 10, 15, nil), // training
+		span(3, 0, telemetry.KindWorkflow, "app", 70, 75, nil), // evaluation
+	}
+	a := Analyze(spans, nil, Options{})
+	if a.Workflows != 2 || a.SkippedTraining != 1 || len(a.Attributions) != 1 {
+		t.Fatalf("got workflows=%d skipped=%d attrs=%d, want 2/1/1",
+			a.Workflows, a.SkippedTraining, len(a.Attributions))
+	}
+	all := Analyze(spans, nil, Options{IncludeTraining: true})
+	if all.SkippedTraining != 0 || len(all.Attributions) != 2 {
+		t.Fatalf("IncludeTraining: skipped=%d attrs=%d, want 0/2", all.SkippedTraining, len(all.Attributions))
+	}
+}
+
+func TestBuildAuditSummaries(t *testing.T) {
+	spans := []telemetry.Span{
+		span(1, 0, telemetry.KindPoolDecision, "fa", 30, 30, telemetry.Fields{
+			"predicted": 2.5, "headroom": 1.1, "target": 4, "actual": 2,
+			"demand": 3, "idle": 1, "warming": 0, "busy": 2, "why": 0}),
+		span(2, 0, telemetry.KindPoolMode, "fa", 31, 31, telemetry.Fields{
+			"mode": 1, "trigger": 1, "sheds": 7}),
+		span(3, 0, telemetry.KindPoolDecision, "fa", 60, 60, telemetry.Fields{
+			"predicted": 9, "headroom": 3, "target": 6, "demand": 5,
+			"sheds_interval": 7, "open_breakers": 0, "why": 1}),
+		span(4, 0, telemetry.KindPoolDecision, "fa", 61, 61, telemetry.Fields{
+			"target": 6, "invoker": 2, "rewarm": 1, "why": 2}),
+		span(5, 0, telemetry.KindBODecision, "bo", 0, 0, telemetry.Fields{
+			"batch": 3, "candidates": 0, "observations": 0, "bootstrap": 1, "qos": 8}),
+		span(6, 0, telemetry.KindBOIteration, "bo", 0, 0, telemetry.Fields{
+			"observations": 3, "pruned": 0}),
+		span(7, 0, telemetry.KindBreaker, "invoker2", 90, 90, telemetry.Fields{
+			"invoker": 2, "state": 1, "err_rate": 0.6}),
+	}
+	audit, sum := buildAudit(spans)
+	if len(audit) != 7 {
+		t.Fatalf("audit length = %d, want 7", len(audit))
+	}
+	if sum.PoolDecisions != 2 || sum.Degraded != 1 || sum.Rewarms != 1 ||
+		sum.ModeSwitches != 1 || sum.BOSuggests != 1 || sum.BOBootstraps != 1 ||
+		sum.BOIterations != 1 || sum.BreakerEvents != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(sum.PerFunction) != 1 {
+		t.Fatalf("per-function = %+v, want one entry", sum.PerFunction)
+	}
+	fa := sum.PerFunction[0]
+	// Means cover the 2 sizing decisions (rewarm excluded).
+	if fa.Decisions != 2 || fa.MaxTgt != 6 || math.Abs(fa.MeanPred-5.75) > 1e-9 {
+		t.Fatalf("fa stats = %+v", fa)
+	}
+	for _, r := range audit {
+		if r.Why == "" {
+			t.Fatalf("record %+v has empty why", r)
+		}
+	}
+}
+
+func TestUtilizationFromSnapshot(t *testing.T) {
+	snap := &telemetry.Snapshot{Gauges: map[string]float64{
+		telemetry.MetricInvokerBusyS + ".0":   10,
+		telemetry.MetricInvokerIdleS + ".0":   5,
+		telemetry.MetricInvokerBusyS + ".2":   3,
+		telemetry.MetricInvokerCreated + ".2": 4,
+		telemetry.MetricBinPackEfficiency:     0.25,
+		telemetry.MetricFleetCPUUtil:          0.5,
+	}}
+	u := utilizationFrom(snap)
+	if u == nil || len(u.Invokers) != 2 {
+		t.Fatalf("utilization = %+v, want 2 invokers", u)
+	}
+	if u.Invokers[0].Invoker != 0 || u.Invokers[1].Invoker != 2 {
+		t.Fatalf("invoker order = %+v, want sorted by ID", u.Invokers)
+	}
+	if u.Invokers[0].BusyS != 10 || u.Invokers[1].Created != 4 {
+		t.Fatalf("invoker values = %+v", u.Invokers)
+	}
+	if u.BinPackEfficiency != 0.25 || u.FleetCPUUtil != 0.5 {
+		t.Fatalf("fleet gauges = %+v", u)
+	}
+	if got := utilizationFrom(&telemetry.Snapshot{}); got != nil {
+		t.Fatalf("empty snapshot gave %+v, want nil", got)
+	}
+}
+
+func TestRenderDeterminism(t *testing.T) {
+	snap := &telemetry.Snapshot{Gauges: map[string]float64{
+		telemetry.MetricInvokerBusyS + ".0": 10,
+		telemetry.MetricBinPackEfficiency:   0.25,
+	}}
+	render := func() (string, string, string) {
+		a := Analyze(testTrace(), snap, Options{})
+		var txt, audit, js bytes.Buffer
+		if err := a.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.WriteAudit(&audit); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return txt.String(), audit.String(), js.String()
+	}
+	t1, a1, j1 := render()
+	for i := 0; i < 3; i++ {
+		t2, a2, j2 := render()
+		if t1 != t2 || a1 != a2 || j1 != j2 {
+			t.Fatal("repeated renders differ")
+		}
+	}
+	if t1 == "" || j1 == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteText renders the analysis summary as a fixed-precision plain-text
+// report. Rendering only walks slices built in sorted order, so repeated
+// renders of the same analysis are byte-identical.
+func (a *Analysis) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "aquatrace summary: %d spans, %d workflows", a.Spans, a.Workflows)
+	if a.SkippedTraining > 0 {
+		fmt.Fprintf(bw, " (%d in training window, excluded)", a.SkippedTraining)
+	}
+	fmt.Fprintf(bw, "\nmax attribution error: %.4g%% of end-to-end latency\n", a.AttributionError*100)
+
+	for i := range a.Apps {
+		app := &a.Apps[i]
+		fmt.Fprintf(bw, "\n== app %s", app.App)
+		if app.QoS > 0 {
+			fmt.Fprintf(bw, " (QoS %.3gs)", app.QoS)
+		}
+		fmt.Fprintf(bw, " ==\n")
+		viol := 0.0
+		if app.Workflows > 0 {
+			viol = 100 * float64(app.Violations) / float64(app.Workflows)
+		}
+		fmt.Fprintf(bw, "workflows %d  failed %d  violations %d (%.1f%%)\n",
+			app.Workflows, app.Failed, app.Violations, viol)
+		fmt.Fprintf(bw, "latency: mean %.3fs  max %.3fs\n", app.MeanLatency, app.MaxLatency)
+		writePhaseShare(bw, "critical-path attribution", app.Phases)
+		if len(app.Stages) > 0 {
+			fmt.Fprintf(bw, "per-stage rollup (critical-path time, seconds):\n")
+			fmt.Fprintf(bw, "  %-16s %8s %10s %10s %10s %10s %10s\n",
+				"stage", "on-path", "queue", "cold", "exec", "retry", "sched")
+			for _, st := range app.Stages {
+				fmt.Fprintf(bw, "  %-16s %8d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+					st.Stage, st.OnPath, st.Phases.Queue, st.Phases.Cold,
+					st.Phases.Exec, st.Phases.Retry, st.Phases.Sched)
+			}
+		}
+		if len(app.TopViolators) > 0 {
+			fmt.Fprintf(bw, "top violators:\n")
+			fmt.Fprintf(bw, "  %-8s %10s %10s %10s %10s %10s %10s %10s\n",
+				"span", "start", "latency", "queue", "cold", "exec", "retry", "sched")
+			for _, v := range app.TopViolators {
+				flag := ""
+				if v.Failed {
+					flag = " FAILED"
+				}
+				fmt.Fprintf(bw, "  %-8d %10.1f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f%s\n",
+					v.SpanID, v.Start, v.Latency, v.Phases.Queue, v.Phases.Cold,
+					v.Phases.Exec, v.Phases.Retry, v.Phases.Sched, flag)
+			}
+		}
+	}
+
+	d := &a.Decisions
+	fmt.Fprintf(bw, "\n== decisions ==\n")
+	fmt.Fprintf(bw, "pool: %d decisions (%d degraded, %d rewarms, %d mode switches)\n",
+		d.PoolDecisions, d.Degraded, d.Rewarms, d.ModeSwitches)
+	for _, s := range d.PerFunction {
+		fmt.Fprintf(bw, "  %-16s decisions %4d  mean predicted %.2f  mean headroom %.2f  mean target %.2f  max target %d\n",
+			s.Function, s.Decisions, s.MeanPred, s.MeanHead, s.MeanTgt, s.MaxTgt)
+	}
+	fmt.Fprintf(bw, "bo: %d suggests (%d bootstrap), %d observe rounds\n",
+		d.BOSuggests, d.BOBootstraps, d.BOIterations)
+	fmt.Fprintf(bw, "breakers: %d transitions\n", d.BreakerEvents)
+
+	if u := a.Utilization; u != nil {
+		fmt.Fprintf(bw, "\n== utilization ==\n")
+		if len(u.Invokers) > 0 {
+			fmt.Fprintf(bw, "  %-8s %10s %10s %12s %12s %12s %8s %8s\n",
+				"invoker", "busy_s", "idle_s", "warm_spare_s", "cpu_core_s", "mem_gb_s", "created", "killed")
+			for _, iv := range u.Invokers {
+				fmt.Fprintf(bw, "  %-8d %10.1f %10.1f %12.1f %12.1f %12.1f %8d %8d\n",
+					iv.Invoker, iv.BusyS, iv.IdleS, iv.WarmSpareS, iv.CPUCoreS,
+					iv.MemGBs, iv.Created, iv.Killed)
+			}
+		}
+		fmt.Fprintf(bw, "bin-packing efficiency %.1f%%  fleet CPU utilization %.1f%%\n",
+			u.BinPackEfficiency*100, u.FleetCPUUtil*100)
+	}
+	return bw.Flush()
+}
+
+// writePhaseShare prints a phase breakdown with percentage shares.
+func writePhaseShare(w io.Writer, label string, p Phases) {
+	total := p.Total()
+	pct := func(v float64) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return 100 * v / total
+	}
+	fmt.Fprintf(w, "%s: queue %.1f%%  cold %.1f%%  exec %.1f%%  retry %.1f%%  sched %.1f%%  (total %.1fs)\n",
+		label, pct(p.Queue), pct(p.Cold), pct(p.Exec), pct(p.Retry), pct(p.Sched), total)
+}
+
+// WriteAudit renders the full decision audit log, one chronological line
+// per decision with its reconstructed explanation and raw explain fields.
+func (a *Analysis) WriteAudit(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range a.Audit {
+		fmt.Fprintf(bw, "t=%010.1f %-14s %-12s %s", r.Time, r.Kind, r.Name, r.Why)
+		if len(r.Fields) > 0 {
+			keys := make([]string, 0, len(r.Fields))
+			for k := range r.Fields {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(bw, "  [")
+			for i, k := range keys {
+				if i > 0 {
+					fmt.Fprintf(bw, " ")
+				}
+				fmt.Fprintf(bw, "%s=%.6g", k, r.Fields[k])
+			}
+			fmt.Fprintf(bw, "]")
+		}
+		fmt.Fprintf(bw, "\n")
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the indented JSON summary (the machine-readable side of
+// WriteText; map-free structures keep it byte-deterministic).
+func (a *Analysis) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}

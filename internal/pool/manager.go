@@ -149,7 +149,7 @@ func (m *Manager) Start() {
 			}
 		}
 		// Guard: trip or recover degraded mode on this tick's evidence.
-		degraded := m.updateGuard(decs, apply, tr)
+		degraded, newSheds := m.updateGuard(decs, apply, tr)
 		if apply {
 			// Pass 2: apply — in degraded mode the pre-warm target falls
 			// back to the conservative recent-peak rule.
@@ -166,15 +166,28 @@ func (m *Manager) Start() {
 					e.lastTarget = dec.Target
 				}
 				if tr.Enabled() {
+					// Explain record: the decision's inputs (forecast,
+					// uncertainty band, observed demand, platform state)
+					// alongside its outputs, so aquatrace can reconstruct
+					// why each target was chosen (DESIGN.md §11).
+					idle, warming, busy := m.cl.WarmCount(e.fn)
 					f := telemetry.Fields{
-						"predicted": dec.Predicted,
-						"headroom":  dec.Headroom,
-						"target":    float64(dec.Target),
-						"keepalive": dec.KeepAlive,
-						"actual":    actuals[i],
+						"predicted":      dec.Predicted,
+						"headroom":       dec.Headroom,
+						"target":         float64(dec.Target),
+						"keepalive":      dec.KeepAlive,
+						"actual":         actuals[i],
+						"demand":         float64(m.cl.Demand(e.fn)),
+						"idle":           float64(idle),
+						"warming":        float64(warming),
+						"busy":           float64(busy),
+						"open_breakers":  float64(m.cl.OpenBreakers()),
+						"sheds_interval": float64(newSheds),
+						"why":            whyModel,
 					}
 					if degraded {
 						f["degraded"] = 1
+						f["why"] = whyDegraded
 					}
 					tr.Point(telemetry.KindPoolDecision, e.fn, 0, eng.Now(), f)
 				}
@@ -205,6 +218,7 @@ func (m *Manager) Start() {
 						"target":  float64(e.lastTarget),
 						"rewarm":  1,
 						"invoker": float64(invoker),
+						"why":     whyRewarm,
 					})
 				}
 			}
@@ -212,14 +226,22 @@ func (m *Manager) Start() {
 	})
 }
 
+// "why" codes recorded on pool.decision explain points.
+const (
+	whyModel    = 0 // model-driven forecast + headroom
+	whyDegraded = 1 // guard tripped: recent-peak fallback
+	whyRewarm   = 2 // re-assert targets after an invoker crash
+)
+
 // updateGuard drives the degraded-mode state machine on one tick's
 // evidence (platform shed counters and the tick's decisions) and reports
-// whether targets should fall back to the recent-peak rule. Mode changes
+// whether targets should fall back to the recent-peak rule, plus the shed
+// count observed this interval (for the decision audit log). Mode changes
 // emit an explicit pool.mode telemetry point.
-func (m *Manager) updateGuard(decs []Decision, apply bool, tr telemetry.Tracer) bool {
+func (m *Manager) updateGuard(decs []Decision, apply bool, tr telemetry.Tracer) (bool, int) {
 	g := m.Guard
 	if g == nil {
-		return false
+		return false, 0
 	}
 	// Track the shed counter every tick (training included) so the first
 	// applied tick sees one interval's delta, not the whole training run.
@@ -227,7 +249,7 @@ func (m *Manager) updateGuard(decs []Decision, apply bool, tr telemetry.Tracer) 
 	newSheds := shed - m.lastShed
 	m.lastShed = shed
 	if !apply {
-		return false
+		return false, newSheds
 	}
 	trigger := 0.0 // 1 = admission sheds, 2 = model uncertainty
 	if g.ShedThreshold > 0 && newSheds >= g.ShedThreshold {
@@ -267,7 +289,7 @@ func (m *Manager) updateGuard(decs []Decision, apply bool, tr telemetry.Tracer) 
 			}
 		}
 	}
-	return m.degraded
+	return m.degraded, newSheds
 }
 
 // peakTarget is the degraded-mode target: the ceiling of the trailing peak

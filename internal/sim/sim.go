@@ -97,9 +97,9 @@ func NewEngine() *Engine { return &Engine{} }
 // "sim.events" counter plus "sim.clock_s" and "sim.pending_events" gauges,
 // updated as events execute. A nil registry detaches them.
 func (e *Engine) SetMetrics(reg *telemetry.Registry) {
-	e.evCount = reg.Counter("sim.events")
-	e.clockG = reg.Gauge("sim.clock_s")
-	e.pendingG = reg.Gauge("sim.pending_events")
+	e.evCount = reg.Counter(telemetry.MetricSimEvents)
+	e.clockG = reg.Gauge(telemetry.MetricSimClock)
+	e.pendingG = reg.Gauge(telemetry.MetricSimPendingEvents)
 }
 
 // Now returns the current virtual time.

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePromText renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative _bucket/_sum/_count families. Metric names are written in
+// sorted order and values with shortest-roundtrip formatting, so the same
+// snapshot always renders byte-identically.
+func (s Snapshot) WritePromText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %s\n", pn, pn, promVal(s.Counters[name]))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promVal(s.Gauges[name]))
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.N
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, promVal(b.LE), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", pn, promVal(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+	}
+	return bw.Flush()
+}
+
+// WritePromText snapshots the registry and renders it in the Prometheus
+// text exposition format. Safe to call concurrently with metric updates.
+func (r *Registry) WritePromText(w io.Writer) error {
+	return r.Snapshot().WritePromText(w)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName maps a registry name onto the Prometheus metric-name alphabet
+// [a-zA-Z0-9_:]; the convention's dots become underscores.
+func promName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func promVal(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePromText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricColdStarts).Add(3)
+	r.Gauge("faas.invoker.busy_s.0").Set(1.5)
+	h := r.HistogramBuckets("workflow.latency_s.app", 0.1, 2, 4)
+	h.Observe(0.05) // first bucket
+	h.Observe(0.15) // second
+	h.Observe(99)   // overflow
+
+	var buf bytes.Buffer
+	if err := r.WritePromText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE faas_cold_starts counter\nfaas_cold_starts 3\n",
+		"# TYPE faas_invoker_busy_s_0 gauge\nfaas_invoker_busy_s_0 1.5\n",
+		"# TYPE workflow_latency_s_app histogram\n",
+		"workflow_latency_s_app_bucket{le=\"0.1\"} 1\n",
+		"workflow_latency_s_app_bucket{le=\"0.2\"} 2\n",
+		"workflow_latency_s_app_bucket{le=\"+Inf\"} 3\n",
+		"workflow_latency_s_app_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q\n%s", want, out)
+		}
+	}
+	// Counters render before gauges before histograms, names sorted.
+	if !strings.HasPrefix(out, "# TYPE faas_cold_starts counter") {
+		t.Errorf("unexpected prefix:\n%s", out)
+	}
+
+	// Determinism: repeated renders are byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WritePromText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("repeated prom renders differ")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"faas.cold_starts":     "faas_cold_starts",
+		"workflow.latency_s.a": "workflow_latency_s_a",
+		"0abc":                 "_abc",
+		"a:b-c":                "a:b_c",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

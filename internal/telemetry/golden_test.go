@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenSpans builds a small but representative span stream: a workflow
+// with a stage, an invocation, a container create and a decision point.
+func goldenSpans() *Collector {
+	c := NewCollector()
+	wf := c.StartSpan(KindWorkflow, "app", 0, 10)
+	st := c.StartSpan(KindStage, "s0", wf, 10)
+	c.Point(KindContainerCreate, "fn", 0, 10.5,
+		Fields{"container": 0, "invoker": 1, "mem_mb": 256, "prewarmed": 0, "init_s": 1.25})
+	inv := c.StartSpan(KindInvocation, "fn", st, 10)
+	c.EndSpan(inv, 14.75, Fields{"cold": 1, "wait_s": 1.25, "exec_s": 3.5, "container": 0, "outcome": 0})
+	c.EndSpan(st, 14.75, Fields{"invocations": 1})
+	c.EndSpan(wf, 14.75, Fields{"latency_s": 4.75})
+	c.Point(KindPoolDecision, "fn", 0, 60,
+		Fields{"predicted": 2.5, "headroom": 1.5, "target": 4, "actual": 2, "why": 0})
+	return c
+}
+
+// goldenRegistry builds a registry covering every exported metric family.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter(MetricColdStarts).Add(2)
+	r.Counter(MetricWarmStarts).Add(7)
+	r.Gauge(MetricInvokerBusyS + ".0").Set(12.5)
+	r.Gauge(MetricBinPackEfficiency).Set(0.375)
+	h := r.HistogramBuckets(MetricWorkflowLatency+".app", 0.1, 2, 8)
+	for _, v := range []float64{0.05, 0.3, 0.3, 1.7, 99} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// checkGolden compares rendered bytes to the committed golden file.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/telemetry/.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden bytes (regenerate with UPDATE_GOLDEN=1 if intended)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenSpanJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSpans().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "spans.golden.jsonl", buf.Bytes())
+
+	// The stream must round-trip losslessly.
+	spans, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != goldenSpans().Len() {
+		t.Fatalf("round-trip lost spans: %d != %d", len(spans), goldenSpans().Len())
+	}
+	var buf2 bytes.Buffer
+	if err := goldenSpans().WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("repeated JSONL renders differ")
+	}
+}
+
+func TestGoldenMetricsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.json", buf.Bytes())
+}
+
+func TestGoldenMetricsProm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePromText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.prom", buf.Bytes())
+}

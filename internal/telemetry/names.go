@@ -1,0 +1,63 @@
+package telemetry
+
+// Central metric-name catalog. Every Registry lookup in the instrumented
+// subsystems must use one of these constants (optionally suffixed with a
+// "."-separated entity such as an app name or invoker ID) — enforced by
+// aqualint's metricname check — so that metric names cannot silently drift
+// apart between the emitting side and the consumers (cmd/aquatrace, the
+// Prometheus exposition endpoint, experiment reports).
+//
+// Naming convention (DESIGN.md §6): "<subsystem>.<metric>[_<unit>][.<entity>]".
+const (
+	// faas platform counters.
+	MetricColdStarts          = "faas.cold_starts"
+	MetricWarmStarts          = "faas.warm_starts"
+	MetricFailedInvocations   = "faas.failed_invocations"
+	MetricTimedOutInvocations = "faas.timedout_invocations"
+	MetricShedInvocations     = "faas.shed_invocations"
+	MetricBreakerOpens        = "faas.breaker_opens"
+	MetricBreakerCloses       = "faas.breaker_closes"
+	MetricInitFailures        = "faas.init_failures"
+	MetricInvokerCrashes      = "faas.invoker_crashes"
+	MetricCPUTime             = "faas.cpu_time_core_s"
+	MetricMemTime             = "faas.mem_time_gb_s"
+	MetricProvisionedMemTime  = "faas.provisioned_mem_time_gb_s"
+	MetricContainersCreated   = "faas.containers_created"
+	MetricContainersKilled    = "faas.containers_killed"
+
+	// faas platform histograms.
+	MetricInvocationLatency = "faas.invocation.latency_s"
+	MetricInvocationExec    = "faas.invocation.exec_s"
+	MetricInvocationWait    = "faas.invocation.wait_s"
+
+	// Per-invoker utilization time integrals (gauges, flushed once at the
+	// end of a run; suffixed ".<invokerID>"). BusyS integrates wall time
+	// with at least one running invocation; ActiveS wall time with at least
+	// one container provisioned; IdleS is Active − Busy. CPUCoreS and
+	// MemGBs integrate the busy core count and the provisioned memory;
+	// WarmSpareS integrates the idle (warm, unused) container count.
+	MetricInvokerBusyS      = "faas.invoker.busy_s"
+	MetricInvokerIdleS      = "faas.invoker.idle_s"
+	MetricInvokerActiveS    = "faas.invoker.active_s"
+	MetricInvokerCPUCoreS   = "faas.invoker.cpu_core_s"
+	MetricInvokerMemGBs     = "faas.invoker.mem_gb_s"
+	MetricInvokerWarmSpareS = "faas.invoker.warm_spare_s"
+	MetricInvokerCreated    = "faas.invoker.containers_created"
+	MetricInvokerKilled     = "faas.invoker.containers_killed"
+
+	// Fleet-level utilization gauges. Bin-packing efficiency is
+	// Σ used-memory-time / Σ capacity-time over invokers while they hosted
+	// at least one container (Fifer's fragmentation view: how much of the
+	// memory we kept powered actually held containers). Fleet CPU util is
+	// Σ busy-core-time / Σ capacity-core-time over the whole run.
+	MetricBinPackEfficiency = "faas.binpack_efficiency"
+	MetricFleetCPUUtil      = "faas.fleet_cpu_util"
+
+	// Simulator engine gauges.
+	MetricSimEvents        = "sim.events"
+	MetricSimClock         = "sim.clock_s"
+	MetricSimPendingEvents = "sim.pending_events"
+
+	// Per-app end-to-end workflow latency histogram (suffixed ".<app>").
+	MetricWorkflowLatency = "workflow.latency_s"
+)

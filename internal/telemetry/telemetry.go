@@ -57,6 +57,16 @@ const (
 	// KindPoolMode marks the pool manager switching between model-driven
 	// and degraded (recent-peak) pre-warm sizing (point).
 	KindPoolMode = "pool.mode"
+	// KindBODecision is one Bayesian-optimization suggestion batch: an
+	// explain record carrying the posterior view (cost/latency mean and
+	// uncertainty band, feasibility probability) behind the configurations
+	// the engine chose to try next (point).
+	KindBODecision = "bo.decision"
+	// KindRunMeta is per-application run metadata (QoS target, training
+	// cutoff, invoker count) emitted once at the start of the live phase so
+	// post-hoc analysis (cmd/aquatrace) can attribute QoS violations
+	// without re-reading the experiment configuration (point).
+	KindRunMeta = "run.meta"
 )
 
 // Span is one recorded interval (or point event, when Start == End).
