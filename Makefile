@@ -40,11 +40,13 @@ bench:
 microbench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# smoke runs the overload saturation sweep at quick scale through the CLI
-# twice — parallel and serial — and requires byte-identical stdout: the
-# fastest end-to-end check that the overload-protection layers (bounded
-# queues, breakers, retry budgets, pool guard) stay deterministic and
-# parallel-safe. Timing lines go to stderr, so stdout compares clean.
+# smoke runs the overload saturation sweep and the scheduler arena at
+# quick scale through the CLI twice each — parallel and serial — and
+# requires byte-identical stdout: the fastest end-to-end check that the
+# overload-protection layers (bounded queues, breakers, retry budgets,
+# pool guard) and every registered scheduler (aquatope, jolteon, caerus,
+# naive) stay deterministic and parallel-safe. Timing lines go to
+# stderr, so stdout compares clean.
 #
 # It then exercises the trace-analysis pipeline end to end: a short
 # aquatope run dumps spans + metrics, aquatrace analyzes the dump twice
@@ -55,10 +57,14 @@ smoke:
 	$(GO) run ./cmd/aquabench -exp overload -scale quick -parallel 2 > .smoke_p2.txt
 	$(GO) run ./cmd/aquabench -exp overload -scale quick -parallel 1 > .smoke_p1.txt
 	cmp .smoke_p1.txt .smoke_p2.txt
+	$(GO) run ./cmd/aquabench -exp arena -scale quick -parallel 2 > .smoke_arena_p2.txt
+	$(GO) run ./cmd/aquabench -exp arena -scale quick -parallel 1 > .smoke_arena_p1.txt
+	cmp .smoke_arena_p1.txt .smoke_arena_p2.txt
 	$(GO) run ./cmd/aquatope -app chain -minutes 20 -train 5 -budget 2 -system keepalive -seed 3 \
 		-trace-out .smoke_spans.jsonl -metrics-out .smoke_metrics.json > /dev/null
 	$(GO) run ./cmd/aquatrace -trace .smoke_spans.jsonl -metrics .smoke_metrics.json \
 		-json smoke_analysis.json > .smoke_a1.txt
 	$(GO) run ./cmd/aquatrace -trace .smoke_spans.jsonl -metrics .smoke_metrics.json > .smoke_a2.txt
 	cmp .smoke_a1.txt .smoke_a2.txt
-	rm -f .smoke_p1.txt .smoke_p2.txt .smoke_a1.txt .smoke_a2.txt .smoke_spans.jsonl .smoke_metrics.json
+	rm -f .smoke_p1.txt .smoke_p2.txt .smoke_arena_p1.txt .smoke_arena_p2.txt \
+		.smoke_a1.txt .smoke_a2.txt .smoke_spans.jsonl .smoke_metrics.json

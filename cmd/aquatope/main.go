@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -25,6 +26,7 @@ import (
 	"aquatope/internal/faas"
 	"aquatope/internal/obs"
 	"aquatope/internal/pool"
+	"aquatope/internal/sched"
 	"aquatope/internal/socialgraph"
 	"aquatope/internal/telemetry"
 	"aquatope/internal/trace"
@@ -54,6 +56,7 @@ func buildApp(name string, seed int64) *apps.App {
 func main() {
 	appName := flag.String("app", "mlpipeline", "application: chain | fanout | mlpipeline | videoproc | socialnet")
 	system := flag.String("system", "aquatope", "framework: aquatope | aqualite | autoscale | icebreaker+clite | keepalive")
+	schedName := flag.String("scheduler", "", "pluggable scheduler from the internal/sched registry (overrides -system): "+strings.Join(sched.Names(), " | "))
 	minutes := flag.Int("minutes", 2160, "trace length in minutes")
 	trainMin := flag.Int("train", 1440, "training prefix in minutes")
 	budget := flag.Int("budget", 30, "resource-search profiling budget")
@@ -151,28 +154,42 @@ func main() {
 		}
 		fmt.Printf("serving telemetry on http://%s (/metrics, /analysis)\n", srv.addr)
 	}
-	switch *system {
-	case "aquatope":
-		cfg.PoolFactory = aquaPool(false)
-		cfg.ManagerFactory = core.AquatopeManagerFactory()
-	case "aqualite":
-		cfg.PoolFactory = aquaPool(true)
-		cfg.ManagerFactory = core.AquatopeManagerFactory()
-	case "autoscale":
-		cfg.PoolFactory = core.AutoscalePoolFactory()
-		cfg.ManagerFactory = core.AutoscaleManagerFactory()
-	case "icebreaker+clite":
-		cfg.PoolFactory = core.IceBreakerPoolFactory()
-		cfg.ManagerFactory = core.CLITEManagerFactory()
-	case "keepalive":
-		cfg.PoolFactory = core.KeepAlivePoolFactory(600)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
-		os.Exit(2)
+	label := *system
+	if *schedName != "" {
+		// -scheduler picks both halves (pool policy + resource manager)
+		// from the pluggable registry and supersedes -system.
+		s, ok := sched.New(*schedName, sched.Options{})
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scheduler %q (have: %s)\n",
+				*schedName, strings.Join(sched.Names(), " "))
+			os.Exit(2)
+		}
+		cfg.Scheduler = s
+		label = "scheduler/" + s.Name()
+	} else {
+		switch *system {
+		case "aquatope":
+			cfg.PoolFactory = aquaPool(false)
+			cfg.ManagerFactory = core.AquatopeManagerFactory()
+		case "aqualite":
+			cfg.PoolFactory = aquaPool(true)
+			cfg.ManagerFactory = core.AquatopeManagerFactory()
+		case "autoscale":
+			cfg.PoolFactory = core.AutoscalePoolFactory()
+			cfg.ManagerFactory = core.AutoscaleManagerFactory()
+		case "icebreaker+clite":
+			cfg.PoolFactory = core.IceBreakerPoolFactory()
+			cfg.ManagerFactory = core.CLITEManagerFactory()
+		case "keepalive":
+			cfg.PoolFactory = core.KeepAlivePoolFactory(600)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+			os.Exit(2)
+		}
 	}
 
 	fmt.Printf("running %s under %s: %d invocations over %d min (train %d min)\n",
-		app.Name, *system, len(tr.Arrivals), *minutes, *trainMin)
+		app.Name, label, len(tr.Arrivals), *minutes, *trainMin)
 	res, err := core.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)

@@ -24,6 +24,7 @@ import (
 	"aquatope/internal/loadgen"
 	"aquatope/internal/pool"
 	"aquatope/internal/resource"
+	"aquatope/internal/sched"
 	"aquatope/internal/sim"
 	"aquatope/internal/stats"
 	"aquatope/internal/telemetry"
@@ -54,6 +55,11 @@ type Config struct {
 	// ManagerFactory supplies the resource manager (nil = keep each
 	// app's default configuration).
 	ManagerFactory ManagerFactory
+	// Scheduler supplies both halves — pool policy and resource manager —
+	// from the pluggable internal/sched registry; its PoolSizer and
+	// Configurator become the two factories above. Mutually exclusive
+	// with setting PoolFactory/ManagerFactory directly.
+	Scheduler sched.Scheduler
 	// SearchBudget is the profiling-sample budget per application.
 	SearchBudget int
 	// ProfileNoise is the platform noise during configuration profiling.
@@ -285,6 +291,17 @@ func Run(cfg Config) (Result, error) {
 	if cfg.TrainMin <= 0 {
 		return Result{}, fmt.Errorf("core: TrainMin must be positive")
 	}
+	if cfg.Scheduler != nil {
+		if cfg.PoolFactory != nil || cfg.ManagerFactory != nil {
+			return Result{}, fmt.Errorf("core: Scheduler is mutually exclusive with PoolFactory/ManagerFactory")
+		}
+		if ps := cfg.Scheduler.PoolSizer(); ps != nil {
+			cfg.PoolFactory = ps.Policy
+		}
+		if c := cfg.Scheduler.Configurator(); c != nil {
+			cfg.ManagerFactory = c.Manager
+		}
+	}
 	rng := stats.NewRNG(cfg.Seed)
 	tracer := telemetry.OrNop(cfg.Tracer)
 	reg := cfg.Registry
@@ -307,6 +324,9 @@ func Run(cfg Config) (Result, error) {
 				if be := bm.Engine(); be != nil {
 					be.SetTracer(tracer)
 				}
+			}
+			if st, ok := m.(interface{ SetTracer(telemetry.Tracer) }); ok {
+				st.SetTracer(tracer)
 			}
 			budget := cfg.SearchBudget
 			if budget <= 0 {

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"aquatope/internal/sched"
+	"aquatope/internal/telemetry"
+)
+
+// dumpRun executes one full pipeline and returns the span stream and
+// metric snapshot bytes.
+func dumpRun(t *testing.T, cfg Config) ([]byte, []byte) {
+	t.Helper()
+	col := telemetry.NewCollector()
+	reg := telemetry.NewRegistry()
+	cfg.Tracer = col
+	cfg.Registry = reg
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var spans, metrics bytes.Buffer
+	if err := col.WriteJSONL(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return spans.Bytes(), metrics.Bytes()
+}
+
+// TestSchedulerByteIdentity is the refactor-safety bar for the sched
+// subsystem: the registered "aquatope" scheduler, parameterized to the
+// test model shape, must drive the controller byte-identically to the
+// pre-refactor wiring (PoolFactory + ManagerFactory passed directly).
+func TestSchedulerByteIdentity(t *testing.T) {
+	base := Config{
+		Components:   smallComponents(4),
+		TrainMin:     120,
+		SearchBudget: 10,
+		Seed:         5,
+	}
+
+	legacy := base
+	legacy.PoolFactory = fastPool()
+	legacy.ManagerFactory = AquatopeManagerFactory()
+	spansL, metricsL := dumpRun(t, legacy)
+
+	viaSched := base
+	s, ok := sched.New("aquatope", sched.Options{
+		EncoderHidden: 10,
+		PredHidden:    []int{10, 6},
+		EncoderEpochs: 4,
+		PredEpochs:    10,
+		MCSamples:     6,
+		LR:            0.01,
+		Window:        20,
+		HeadroomZ:     2,
+	})
+	if !ok {
+		t.Fatal("aquatope scheduler not registered")
+	}
+	viaSched.Scheduler = s
+	spansS, metricsS := dumpRun(t, viaSched)
+
+	if !bytes.Equal(spansL, spansS) {
+		t.Errorf("span dumps diverge between factory and sched wiring (%d vs %d bytes): %s",
+			len(spansL), len(spansS), firstDivergence(string(spansL), string(spansS)))
+	}
+	if !bytes.Equal(metricsL, metricsS) {
+		t.Error("metric snapshots diverge between factory and sched wiring")
+	}
+	if len(spansL) == 0 {
+		t.Error("expected spans from the full pipeline")
+	}
+}
+
+// TestSchedulerExclusiveWithFactories: setting both a Scheduler and an
+// explicit factory is a configuration error, not a silent precedence rule.
+func TestSchedulerExclusiveWithFactories(t *testing.T) {
+	s, _ := sched.New("naive", sched.Options{})
+	_, err := Run(Config{
+		Components:  smallComponents(1),
+		TrainMin:    60,
+		Scheduler:   s,
+		PoolFactory: fastPool(),
+		Seed:        1,
+	})
+	if err == nil {
+		t.Fatal("Scheduler + PoolFactory should be rejected")
+	}
+}

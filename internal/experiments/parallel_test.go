@@ -57,11 +57,11 @@ func TestParallelDeterminism(t *testing.T) {
 
 func TestRegistryLineup(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registered experiments = %d, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registered experiments = %d, want 18", len(all))
 	}
 	ids := IDs()
-	if ids[0] != "table1" || ids[len(ids)-1] != "overload" {
+	if ids[0] != "table1" || ids[len(ids)-1] != "arena" {
 		t.Fatalf("registration order wrong: %v", ids)
 	}
 	seen := make(map[string]bool)

@@ -147,4 +147,6 @@ func init() {
 		func(s Scale) Result { return Chaos(s) }))
 	Register(New("overload", "Overload: arrival-rate sweep through saturation (admission, breakers, budgets)",
 		func(s Scale) Result { return Overload(s) }))
+	Register(New("arena", "Arena: scheduler head-to-head (aquatope vs jolteon/caerus/naive) across steady, chaos and overload workloads",
+		func(s Scale) Result { return Arena(s) }))
 }

@@ -177,3 +177,25 @@ func ok(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 		t.Fatalf("internal/stats must be exempt from globalrand, got %v", findings)
 	}
 }
+
+// TestDefaultConfigCoversSched: the pluggable scheduler package must sit
+// under every determinism check — competitor implementations are exactly
+// where ad-hoc wall-clock or global randomness would creep in.
+func TestDefaultConfigCoversSched(t *testing.T) {
+	cfg := DefaultConfig()
+	for check, rule := range cfg.Checks {
+		if !rule.appliesTo("aquatope/internal/sched") {
+			t.Errorf("check %s does not cover aquatope/internal/sched", check)
+		}
+	}
+	// And the gate must actually bite there: a planted wall-clock call in
+	// a sched source file is a finding.
+	pkg := parseSource(t, "aquatope/internal/sched", `package sched
+import "time"
+func bad() { time.Sleep(time.Second) }
+`)
+	findings := Run([]*Package{pkg}, cfg)
+	if len(findings) != 1 || findings[0].Check != "wallclock" {
+		t.Fatalf("want exactly one wallclock finding in internal/sched, got %v", findings)
+	}
+}

@@ -33,15 +33,18 @@ type PoolFnStats struct {
 
 // DecisionSummary rolls the audit log up for the summary report.
 type DecisionSummary struct {
-	PoolDecisions int           `json:"pool_decisions"`
-	Degraded      int           `json:"degraded_decisions"`
-	Rewarms       int           `json:"rewarms"`
-	ModeSwitches  int           `json:"mode_switches"`
-	BOSuggests    int           `json:"bo_suggests"`
-	BOBootstraps  int           `json:"bo_bootstraps"`
-	BOIterations  int           `json:"bo_iterations"`
-	BreakerEvents int           `json:"breaker_events"`
-	PerFunction   []PoolFnStats `json:"per_function,omitempty"`
+	PoolDecisions int `json:"pool_decisions"`
+	Degraded      int `json:"degraded_decisions"`
+	Rewarms       int `json:"rewarms"`
+	ModeSwitches  int `json:"mode_switches"`
+	BOSuggests    int `json:"bo_suggests"`
+	BOBootstraps  int `json:"bo_bootstraps"`
+	BOIterations  int `json:"bo_iterations"`
+	BreakerEvents int `json:"breaker_events"`
+	// SchedDecisions counts sched.decision explain records — configuration
+	// decisions by non-BO schedulers from the internal/sched arena.
+	SchedDecisions int           `json:"sched_decisions,omitempty"`
+	PerFunction    []PoolFnStats `json:"per_function,omitempty"`
 }
 
 // buildAudit reconstructs the decision audit log from a span stream. Spans
@@ -132,6 +135,35 @@ func buildAudit(spans []telemetry.Span) ([]DecisionRecord, DecisionSummary) {
 				sp.Fields["observations"], sp.Fields["pruned"])
 			if inc, ok := sp.Fields["incumbent_cost"]; ok {
 				why += fmt.Sprintf("; incumbent cost %.4g at latency %.3g", inc, sp.Fields["incumbent_latency"])
+			}
+			log = append(log, DecisionRecord{Time: sp.Start, Kind: sp.Kind, Name: sp.Name, Why: why, Fields: sp.Fields})
+		case telemetry.KindSchedDecision:
+			sum.SchedDecisions++
+			var why string
+			switch {
+			case sp.Fields["peak"] == 1:
+				why = fmt.Sprintf("peak provisioning: max CPU/memory everywhere, cost %.4g at latency %.3g vs QoS %.3g",
+					sp.Fields["cost"], sp.Fields["lat"], sp.Fields["qos"])
+			case sp.Name == "jolteon":
+				verdict := "frozen"
+				if sp.Fields["accepted"] == 1 {
+					verdict = "accepted"
+				}
+				tried := "anchor (all-max vCPUs)"
+				if sp.Fields["fn"] >= 0 {
+					tried = fmt.Sprintf("step-down of fn %.0f", sp.Fields["fn"])
+				}
+				why = fmt.Sprintf("%s: %s — P(1-%.2f) latency bound %.3g vs QoS %.3g (mean %.3g±%.3g over %.0f samples), cost %.4g; %.0f fns frozen",
+					verdict, tried, sp.Fields["risk"], sp.Fields["bound"], sp.Fields["qos"],
+					sp.Fields["lat_mean"], sp.Fields["lat_sd"], sp.Fields["samples"],
+					sp.Fields["cost"], sp.Fields["frozen"])
+			default:
+				verdict := fmt.Sprintf("infeasible, frontier %.0f deep", sp.Fields["frontier"])
+				if sp.Fields["satisfied"] == 1 {
+					verdict = "satisfied — best-fit found"
+				}
+				why = fmt.Sprintf("BFS best-fit probe at %.0f memory grains: latency %.3g vs QoS %.3g, cost %.4g (%s)",
+					sp.Fields["mem_levels"], sp.Fields["lat"], sp.Fields["qos"], sp.Fields["cost"], verdict)
 			}
 			log = append(log, DecisionRecord{Time: sp.Start, Kind: sp.Kind, Name: sp.Name, Why: why, Fields: sp.Fields})
 		case telemetry.KindBreaker:

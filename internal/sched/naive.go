@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"math"
+
+	"aquatope/internal/faas"
+	"aquatope/internal/pool"
+	"aquatope/internal/resource"
+	"aquatope/internal/telemetry"
+)
+
+func init() {
+	Register("naive",
+		"peak-provisioned baseline: every function at the maximum CPU/memory configuration, pools pinned to the all-time demand peak with an hour-long keep-alive",
+		func(o Options) Scheduler {
+			return &scheduler{
+				name: "naive",
+				desc: Describe("naive"),
+				pool: &peakPool{meter: o.Meter},
+				conf: &naiveConf{opts: o},
+			}
+		})
+}
+
+// peakPool pins every function's pre-warm target at the highest demand
+// ever observed — the never-cold, never-cheap upper bound.
+type peakPool struct {
+	meter *Meter
+}
+
+func (p *peakPool) Name() string { return "naive" }
+
+// Policy implements PoolSizer.
+func (p *peakPool) Policy(string) pool.Policy {
+	return meterPolicy(&peakPolicy{}, p.meter)
+}
+
+// peakPolicy is the per-function pool.Policy behind peakPool.
+type peakPolicy struct{}
+
+func (p *peakPolicy) Name() string { return "naive" }
+
+// Fit implements pool.Policy.
+func (p *peakPolicy) Fit(pool.FitData) {}
+
+// Decide implements pool.Policy: target the all-time peak.
+func (p *peakPolicy) Decide(history []float64, _ int) pool.Decision {
+	peak := 0.0
+	for _, d := range history {
+		if d > peak {
+			peak = d
+		}
+	}
+	target := int(math.Ceil(peak))
+	return pool.Decision{Target: target, KeepAlive: 3600, Predicted: peak}
+}
+
+// ---------------------------------------------------------------------------
+
+// naiveConf builds naiveManager per application.
+type naiveConf struct {
+	opts Options
+}
+
+func (c *naiveConf) Name() string { return "naive" }
+
+// Manager implements Configurator.
+func (c *naiveConf) Manager(space *resource.Space, prof *resource.Profiler, qos float64, _ int64) resource.Manager {
+	m := &naiveManager{space: space, prof: prof, qos: qos, tracer: telemetry.Nop{}}
+	if c.opts.Meter == nil {
+		return m
+	}
+	return meteredManager{Manager: m, meter: c.opts.Meter}
+}
+
+// naiveManager makes exactly one decision: everything at the top of the
+// grid. The single profiling sample only prices the choice.
+type naiveManager struct {
+	space  *resource.Space
+	prof   *resource.Profiler
+	qos    float64
+	tracer telemetry.Tracer
+
+	samples int
+	best    map[string]faas.ResourceConfig
+	bestC   float64
+	haveB   bool
+}
+
+// Name implements resource.Manager.
+func (m *naiveManager) Name() string { return "naive" }
+
+// Samples implements resource.Manager.
+func (m *naiveManager) Samples() int { return m.samples }
+
+// SetTracer installs the explain-record sink (sched.decision points).
+func (m *naiveManager) SetTracer(t telemetry.Tracer) {
+	if t != nil {
+		m.tracer = t
+	}
+}
+
+// Step implements resource.Manager.
+func (m *naiveManager) Step() int {
+	if m.haveB {
+		return 0
+	}
+	cfgs := make(map[string]faas.ResourceConfig, len(m.space.Functions))
+	maxCPU := m.space.CPUOptions[len(m.space.CPUOptions)-1]
+	maxMem := m.space.MemOptions[len(m.space.MemOptions)-1]
+	for _, fn := range m.space.Functions {
+		cfgs[fn] = faas.ResourceConfig{CPU: maxCPU, MemoryMB: maxMem}
+	}
+	cost, lat := m.prof.Sample(cfgs)
+	m.samples++
+	m.best, m.bestC, m.haveB = cfgs, cost, true
+	if m.tracer.Enabled() {
+		m.tracer.Point(telemetry.KindSchedDecision, "naive", 0, 0, telemetry.Fields{
+			"iter": 0,
+			"cost": cost,
+			"lat":  lat,
+			"qos":  m.qos,
+			"peak": 1,
+		})
+	}
+	return 1
+}
+
+// Best implements resource.Manager.
+func (m *naiveManager) Best() (map[string]faas.ResourceConfig, float64, bool) {
+	return m.best, m.bestC, m.haveB
+}

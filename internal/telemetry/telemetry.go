@@ -67,6 +67,12 @@ const (
 	// post-hoc analysis (cmd/aquatrace) can attribute QoS violations
 	// without re-reading the experiment configuration (point).
 	KindRunMeta = "run.meta"
+	// KindSchedDecision is one configuration decision by a non-BO
+	// scheduler (jolteon's probabilistic-bound probe, caerus's BFS
+	// best-fit step, naive's peak provisioning): the sched-subsystem
+	// equivalent of bo.decision, carrying the candidate's modeled
+	// latency/cost and the accept/freeze verdict (point).
+	KindSchedDecision = "sched.decision"
 )
 
 // Span is one recorded interval (or point event, when Start == End).
