@@ -24,7 +24,7 @@ func main() {
 	fmt.Println("stages:", app.FunctionNames())
 
 	space := resource.NewSpace(app)
-	prof := resource.NewProfiler(app, 7)
+	prof := resource.NewProfiler(app, 7) //aqualint:allow seedflow example pins its documented demo seed so the printed numbers match the README
 	prof.Noise = faas.Noise{GaussianStd: 0.15, OutlierRate: 0.02, OutlierScale: 3}
 
 	// Uniform allocations: the provider-default mindset.

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	g := socialgraph.Reed98Like(42)
+	g := socialgraph.Reed98Like(42) //aqualint:allow seedflow example pins the documented Reed98-like topology seed
 	fmt.Printf("social graph: %d users, %d follow edges (mean %.1f, max %d)\n",
 		g.NumUsers(), g.NumEdges(), g.MeanDegree(), g.MaxDegree())
 
@@ -43,7 +43,7 @@ func main() {
 	eng.RunUntil(60)
 
 	ex := workflow.NewExecutor(cl)
-	rng := stats.NewRNG(7)
+	rng := stats.NewRNG(7) //aqualint:allow seedflow example pins its documented demo seed so the printed numbers match the README
 
 	type post struct {
 		width int

@@ -244,7 +244,7 @@ func NewVideoProcessing() *App {
 // times (I/O-bound, low CPU share).
 func NewSocialNetwork(graph *socialgraph.Graph) *App {
 	if graph == nil {
-		graph = socialgraph.Reed98Like(42)
+		graph = socialgraph.Reed98Like(42) //aqualint:allow seedflow nil means the caller wants the documented default topology; one fixed seed keeps it identical everywhere
 	}
 	specs := []faas.FunctionSpec{
 		{Name: "sn-compose", Model: synth(0.12, 0.5, 128, 0.8, 1.5), TriggerType: 0},

@@ -306,7 +306,7 @@ func (c *Cluster) shedDoomed(fn *function) int {
 	var victims []*pendingInvocation
 	for _, q := range fn.queue {
 		if q.timeout > 0 && q.submitAt+q.timeout < now+est {
-			victims = append(victims, q)
+			victims = append(victims, q) //aqualint:allow hotalloc most scans shed nothing; the nil slice costs zero then, preallocating len(queue) would cost every scan
 		} else {
 			kept = append(kept, q)
 		}

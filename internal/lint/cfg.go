@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the lightweight control-flow layer behind spanpair: a
+// per-function block graph precise enough to answer "does every path from
+// statement S to a function exit pass through a closing statement?"
+// without pulling in golang.org/x/tools/go/cfg.
+//
+// Blocks hold plain statements in source order; structured control
+// statements (if/for/range/switch/select) are decomposed into blocks and
+// condition-annotated edges, so a path checker can refine branches whose
+// condition mentions the tracked variable (the `if id != 0` guard idiom).
+// Functions using goto or labeled break/continue are rare in this
+// codebase and make the lightweight graph unsound, so the builder marks
+// the graph unusable and the analyzers skip the function (conservative
+// silence, never a false positive).
+
+// cfgEdge is one control transfer. When cond is non-nil the edge is taken
+// iff cond evaluates to negate == false (i.e. the "then" edge has
+// negate == false, the "else"/fallthrough edge negate == true).
+type cfgEdge struct {
+	to     *cfgBlock
+	cond   ast.Expr
+	negate bool
+}
+
+// cfgBlock is a straight-line run of statements.
+type cfgBlock struct {
+	stmts []ast.Stmt
+	succs []cfgEdge
+	// ret is the return statement terminating the block, if any; exit
+	// paths through it are reported at its position.
+	ret *ast.ReturnStmt
+}
+
+// funcCFG is the block graph of one function body. exit is the single
+// synthetic exit block: every return and the fall-off-the-end path lead
+// to it.
+type funcCFG struct {
+	entry *cfgBlock
+	exit  *cfgBlock
+	ok    bool // false when the body uses goto / labeled branches
+}
+
+type cfgBuilder struct {
+	cfg *funcCFG
+	cur *cfgBlock
+	// break/continue targets for the innermost enclosing loop or switch.
+	breakTargets    []*cfgBlock
+	continueTargets []*cfgBlock
+}
+
+// buildCFG constructs the block graph for a function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	c := &funcCFG{entry: &cfgBlock{}, exit: &cfgBlock{}, ok: true}
+	b := &cfgBuilder{cfg: c, cur: c.entry}
+	b.stmtList(body.List)
+	// Falling off the end of the body reaches the exit.
+	b.cur.succs = append(b.cur.succs, cfgEdge{to: c.exit})
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock { return &cfgBlock{} }
+
+// jump ends the current block with an unconditional edge and opens a
+// fresh (possibly unreachable) one.
+func (b *cfgBuilder) jump(to *cfgBlock) {
+	b.cur.succs = append(b.cur.succs, cfgEdge{to: to})
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.cur.stmts = append(b.cur.stmts, st.Init)
+		}
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.cur.succs = append(b.cur.succs, cfgEdge{to: thenB, cond: st.Cond})
+		condBlock := b.cur
+		b.cur = thenB
+		b.stmt(st.Body)
+		b.jump(after)
+		if st.Else != nil {
+			elseB := b.newBlock()
+			condBlock.succs = append(condBlock.succs, cfgEdge{to: elseB, cond: st.Cond, negate: true})
+			b.cur = elseB
+			b.stmt(st.Else)
+			b.jump(after)
+		} else {
+			condBlock.succs = append(condBlock.succs, cfgEdge{to: after, cond: st.Cond, negate: true})
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.cur.stmts = append(b.cur.stmts, st.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		if st.Cond != nil {
+			head.succs = append(head.succs,
+				cfgEdge{to: body, cond: st.Cond},
+				cfgEdge{to: after, cond: st.Cond, negate: true})
+		} else {
+			// for {}: the only way to after is break, but a body that
+			// returns also exits; keep an edge so downstream code after an
+			// always-true loop is treated as reachable (conservative).
+			head.succs = append(head.succs, cfgEdge{to: body}, cfgEdge{to: after})
+		}
+		b.withLoop(after, head, func() {
+			b.cur = body
+			b.stmt(st.Body)
+			if st.Post != nil {
+				b.cur.stmts = append(b.cur.stmts, st.Post)
+			}
+			b.jump(head)
+		})
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		// The range expression is evaluated once on entry.
+		b.cur.stmts = append(b.cur.stmts, &ast.ExprStmt{X: st.X})
+		b.jump(head)
+		// The body may run zero times.
+		head.succs = append(head.succs, cfgEdge{to: body}, cfgEdge{to: after})
+		b.withLoop(after, head, func() {
+			b.cur = body
+			b.stmt(st.Body)
+			b.jump(head)
+		})
+		b.cur = after
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(st)
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		entry := b.cur
+		b.pushBreak(after)
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			cb := b.newBlock()
+			entry.succs = append(entry.succs, cfgEdge{to: cb})
+			b.cur = cb
+			if cc.Comm != nil {
+				b.cur.stmts = append(b.cur.stmts, cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		if len(st.Body.List) == 0 {
+			entry.succs = append(entry.succs, cfgEdge{to: after})
+		}
+		b.popBreak()
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.cur.stmts = append(b.cur.stmts, st)
+		b.cur.ret = st
+		b.cur.succs = append(b.cur.succs, cfgEdge{to: b.cfg.exit})
+		b.cur = b.newBlock()
+	case *ast.BranchStmt:
+		if st.Label != nil || st.Tok == token.GOTO {
+			b.cfg.ok = false
+			return
+		}
+		switch st.Tok {
+		case token.BREAK:
+			if n := len(b.breakTargets); n > 0 {
+				b.jump(b.breakTargets[n-1])
+			} else {
+				b.cfg.ok = false
+			}
+		case token.CONTINUE:
+			if n := len(b.continueTargets); n > 0 {
+				b.jump(b.continueTargets[n-1])
+			} else {
+				b.cfg.ok = false
+			}
+		case token.FALLTHROUGH:
+			// Handled structurally in switchStmt via clause chaining.
+			b.cur.stmts = append(b.cur.stmts, st)
+		}
+	case *ast.LabeledStmt:
+		// Labels only matter as branch targets; labeled branches already
+		// mark the graph unusable, so analyze the inner statement as-is.
+		b.cfg.ok = false
+		b.stmt(st.Stmt)
+	default:
+		b.cur.stmts = append(b.cur.stmts, s)
+	}
+}
+
+// switchStmt decomposes switch and type-switch statements: every clause
+// gets its own block fed from the entry; without a default clause the
+// entry also flows straight to after.
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	var init ast.Stmt
+	var clauses []ast.Stmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		init = st.Init
+		if st.Tag != nil {
+			b.cur.stmts = append(b.cur.stmts, &ast.ExprStmt{X: st.Tag})
+		}
+		clauses = st.Body.List
+	case *ast.TypeSwitchStmt:
+		init = st.Init
+		b.cur.stmts = append(b.cur.stmts, st.Assign)
+		clauses = st.Body.List
+	}
+	if init != nil {
+		// Prepended before the tag/assign above would be more faithful;
+		// for reachability it makes no difference.
+		b.cur.stmts = append(b.cur.stmts, init)
+	}
+	after := b.newBlock()
+	entry := b.cur
+	hasDefault := false
+	blocks := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	b.pushBreak(after)
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		entry.succs = append(entry.succs, cfgEdge{to: blocks[i]})
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		// fallthrough chains to the next clause body.
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+				b.jump(blocks[i+1])
+				continue
+			}
+		}
+		b.jump(after)
+	}
+	b.popBreak()
+	if !hasDefault {
+		entry.succs = append(entry.succs, cfgEdge{to: after})
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) withLoop(brk, cont *cfgBlock, body func()) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+	body()
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+func (b *cfgBuilder) pushBreak(t *cfgBlock) { b.breakTargets = append(b.breakTargets, t) }
+func (b *cfgBuilder) popBreak()             { b.breakTargets = b.breakTargets[:len(b.breakTargets)-1] }
+
+// blockOf locates the block and statement index containing stmt (by
+// position containment), or (nil, 0) when not found.
+func (c *funcCFG) blockOf(stmt ast.Stmt) (*cfgBlock, int) {
+	var find func(b *cfgBlock, seen map[*cfgBlock]bool) (*cfgBlock, int)
+	find = func(b *cfgBlock, seen map[*cfgBlock]bool) (*cfgBlock, int) {
+		if seen[b] {
+			return nil, 0
+		}
+		seen[b] = true
+		for i, s := range b.stmts {
+			if s == stmt || (s.Pos() <= stmt.Pos() && stmt.End() <= s.End()) {
+				return b, i
+			}
+		}
+		for _, e := range b.succs {
+			if fb, fi := find(e.to, seen); fb != nil {
+				return fb, fi
+			}
+		}
+		return nil, 0
+	}
+	return find(c.entry, make(map[*cfgBlock]bool))
+}

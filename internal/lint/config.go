@@ -92,5 +92,28 @@ func DefaultConfig() Config {
 			// (registry lookups take the name as a parameter).
 			Exclude: []string{"aquatope/internal/telemetry"},
 		},
+		// seedflow proves every seed reaching an RNG constructor comes from
+		// configuration or runner.DeriveSeed. internal/stats is the
+		// constructor layer itself (its params are the seed plumbing), and
+		// the examples are demos that pin a documented seed on purpose.
+		"seedflow": {
+			Include: []string{"..."},
+			Exclude: []string{"aquatope/internal/stats"},
+		},
+		// spanpair's span-lifecycle CFG check and sharedmut's captured-write
+		// check apply to all compiled files.
+		"spanpair":  {Include: []string{"..."}},
+		"sharedmut": {Include: []string{"..."}},
+		// hotalloc is scoped to the per-event hot path the fleet-scale
+		// refactor will churn: the simulator core, the FaaS substrate and
+		// the workflow executor. Reports elsewhere (CLI table formatting,
+		// experiment harnesses) would be noise.
+		"hotalloc": {
+			Include: []string{
+				"aquatope/internal/sim/...",
+				"aquatope/internal/faas/...",
+				"aquatope/internal/workflow/...",
+			},
+		},
 	}}
 }

@@ -32,7 +32,7 @@ var droppederrExcludedRecv = []string{
 	"(*strings.Builder).",
 }
 
-func runDroppedErr(pkg *Package, file *File, rule Rule, report Reporter) {
+func runDroppedErr(prog *Program, pkg *Package, file *File, rule Rule, report Reporter) {
 	info := pkg.Info
 	ast.Inspect(file.AST, func(n ast.Node) bool {
 		switch st := n.(type) {

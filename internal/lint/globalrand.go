@@ -25,7 +25,7 @@ var globalrandAnalyzer = &Analyzer{
 	Run: runGlobalrand,
 }
 
-func runGlobalrand(pkg *Package, file *File, rule Rule, report Reporter) {
+func runGlobalrand(prog *Program, pkg *Package, file *File, rule Rule, report Reporter) {
 	for _, path := range []string{"math/rand", "math/rand/v2"} {
 		names, dot, spec := importNames(file.AST, path)
 		if dot {

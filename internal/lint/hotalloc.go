@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var hotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "advisory allocation-hygiene lint for hot-path packages: " +
+		"append without preallocation in per-event loops, fmt string " +
+		"formatting inside loops, and defer inside loops all allocate " +
+		"per iteration — visible at fleet scale",
+	NeedsTypes: true,
+	Run:        runHotalloc,
+}
+
+// hotallocFmtAllocators are the fmt functions that allocate a fresh
+// string or slice per call.
+var hotallocFmtAllocators = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Appendf":  true,
+}
+
+func runHotalloc(prog *Program, pkg *Package, file *File, rule Rule, report Reporter) {
+	fmtNames, _, _ := importNames(file.AST, "fmt")
+	info := pkg.Info
+	// Track the enclosing function body (for append-target declarations)
+	// and loop depth along the traversal.
+	var stack []ast.Node
+	loopDepth := func() int {
+		d := 0
+		for _, n := range stack {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				d++
+			case *ast.FuncLit:
+				// A closure resets the loop context: a defer inside a
+				// closure inside a loop runs per closure call, not per
+				// iteration of the outer loop.
+				d = 0
+			}
+		}
+		return d
+	}
+	ast.Inspect(file.AST, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if loopDepth() > 0 {
+				report(x.Pos(), "defer inside a loop allocates a deferred frame per iteration and only runs at function exit; hoist the loop body into a function or call the cleanup explicitly")
+			}
+		case *ast.CallExpr:
+			if loopDepth() > 0 {
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && fmtNames[id.Name] && hotallocFmtAllocators[sel.Sel.Name] {
+						report(x.Pos(), "fmt.%s inside a loop allocates a string per iteration on a hot path; hoist it, cache the formatted value, or use strconv into a reused buffer", sel.Sel.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if rs := enclosingRange(stack); rs != nil {
+				checkAppendPrealloc(info, x, rs, enclosingFuncBody(stack), report)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingRange returns the innermost range statement on the stack, or
+// nil; a function literal boundary resets the context like loopDepth.
+func enclosingRange(stack []ast.Node) *ast.RangeStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.RangeStmt:
+			return n
+		case *ast.FuncLit:
+			return nil
+		}
+	}
+	return nil
+}
+
+// checkAppendPrealloc flags `xs = append(xs, …)` inside a range loop when
+// xs is a function-local slice declared without capacity: the loop's size
+// is knowable (it ranges over a finite collection), so the backing array
+// can be preallocated instead of grown geometrically per event.
+func checkAppendPrealloc(info *types.Info, st *ast.AssignStmt, rs *ast.RangeStmt, encl *ast.BlockStmt, report Reporter) {
+	if encl == nil || len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, rhs := range st.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fid.Name != "append" {
+			continue
+		}
+		// append(xs, ys...) growth is bulk, not per-event; skip.
+		if call.Ellipsis.IsValid() {
+			continue
+		}
+		obj := lhsObject(info, st.Lhs[i])
+		if obj == nil || obj.Pos() < encl.Pos() || obj.Pos() > encl.End() {
+			continue // not function-local (field, package var, param)
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			continue // declared inside the loop: fresh slice per iteration
+		}
+		if declaredWithoutCap(info, encl, obj) {
+			report(st.Pos(), "append to %s grows an uncapped slice once per iteration; preallocate with make(%s, 0, len(…)) before the loop", obj.Name(), types.TypeString(obj.Type(), nil))
+		}
+	}
+}
+
+// declaredWithoutCap reports whether the slice variable's declaration has
+// no usable capacity: `var xs []T`, `xs := []T{}`, or `xs := make([]T, 0)`
+// with no capacity argument. Declarations with a capacity (make 3-arg),
+// non-empty literals, or initializers we cannot see return false.
+func declaredWithoutCap(info *types.Info, encl *ast.BlockStmt, obj types.Object) bool {
+	result := false
+	found := false
+	check := func(init ast.Expr) {
+		found = true
+		if init == nil {
+			result = true // var xs []T
+			return
+		}
+		switch x := ast.Unparen(init).(type) {
+		case *ast.CompositeLit:
+			result = len(x.Elts) == 0
+		case *ast.CallExpr:
+			if fid, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && fid.Name == "make" {
+				// make([]T, 0) without a cap; make([]T, 0, n) has one.
+				if len(x.Args) == 2 {
+					if lit, ok := ast.Unparen(x.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+						result = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range st.Lhs {
+				if id, ok := l.(*ast.Ident); ok && info.Defs[id] == obj && len(st.Lhs) == len(st.Rhs) {
+					check(st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				if info.Defs[id] != obj {
+					continue
+				}
+				if i < len(st.Values) {
+					check(st.Values[i])
+				} else {
+					check(nil)
+				}
+			}
+		}
+		return !found
+	})
+	return found && result
+}

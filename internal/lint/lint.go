@@ -58,13 +58,17 @@ type Package struct {
 // Reporter receives findings from an analyzer run.
 type Reporter func(pos token.Pos, format string, args ...any)
 
-// Analyzer is one named check.
+// Analyzer is one named check. Run receives the whole Program (call
+// graph + package set) so interprocedural analyzers can look across
+// files, the package and file under analysis, the scoping Rule, and a
+// position-based Reporter; per-file syntactic analyzers simply ignore
+// the Program.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// NeedsTypes restricts the analyzer to type-checked (non-test) files.
 	NeedsTypes bool
-	Run        func(pkg *Package, file *File, rule Rule, report Reporter)
+	Run        func(prog *Program, pkg *Package, file *File, rule Rule, report Reporter)
 }
 
 // Analyzers returns the registry of all checks in stable order.
@@ -75,6 +79,10 @@ func Analyzers() []*Analyzer {
 		maporderAnalyzer,
 		droppederrAnalyzer,
 		metricnameAnalyzer,
+		seedflowAnalyzer,
+		spanpairAnalyzer,
+		sharedmutAnalyzer,
+		hotallocAnalyzer,
 	}
 }
 
@@ -97,11 +105,14 @@ func analyzerByName(name string) *Analyzer {
 }
 
 // Run applies every check enabled in cfg to the packages and returns the
-// surviving findings sorted by position then check name.
+// surviving findings sorted by position then check name. The whole-
+// program call graph is built once up front and shared by every
+// interprocedural analyzer.
 func Run(pkgs []*Package, cfg Config) []Finding {
+	prog := NewProgram(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
-		findings = append(findings, runPackage(pkg, cfg)...)
+		findings = append(findings, runPackage(prog, pkg, cfg)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -119,7 +130,7 @@ func Run(pkgs []*Package, cfg Config) []Finding {
 	return dedup(findings)
 }
 
-func runPackage(pkg *Package, cfg Config) []Finding {
+func runPackage(prog *Program, pkg *Package, cfg Config) []Finding {
 	var findings []Finding
 	for _, file := range pkg.Files {
 		allows, bad := parseAllows(pkg.Fset, file.AST)
@@ -147,7 +158,7 @@ func runPackage(pkg *Package, cfg Config) []Finding {
 					Message: fmt.Sprintf(format, args...),
 				})
 			}
-			az.Run(pkg, file, rule, report)
+			az.Run(prog, pkg, file, rule, report)
 		}
 	}
 	return findings

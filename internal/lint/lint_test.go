@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -99,6 +100,42 @@ func TestMetricnameFixture(t *testing.T) {
 	checkFixture(t, "metricname.go", "metricname", true, Rule{Sinks: []string{"fixture/metricname"}})
 }
 
+func TestSeedflowFixture(t *testing.T) {
+	checkFixture(t, "seedflow.go", "seedflow", true, Rule{Sinks: []string{"fixture/seedflow"}})
+}
+
+func TestSpanpairFixture(t *testing.T) {
+	checkFixture(t, "spanpair.go", "spanpair", true, Rule{Sinks: []string{"fixture/spanpair"}})
+}
+
+func TestSharedmutFixture(t *testing.T) {
+	checkFixture(t, "sharedmut.go", "sharedmut", true, Rule{Sinks: []string{"fixture/sharedmut"}})
+}
+
+func TestHotallocFixture(t *testing.T) {
+	checkFixture(t, "hotalloc.go", "hotalloc", true, Rule{})
+}
+
+// TestSpanpairCatchesEarlyReturnLeak pins the motivating bug shape for
+// the spanpair analyzer: a span started at the top of a function and
+// leaked by an early return must be reported, and the finding must name
+// the leaking return's line so the fix is mechanical.
+func TestSpanpairCatchesEarlyReturnLeak(t *testing.T) {
+	pkg := parseFixture(t, "spanpair.go", "fixture/spanpair", true)
+	findings := Run([]*Package{pkg}, Config{Checks: map[string]Rule{
+		"spanpair": {Sinks: []string{"fixture/spanpair"}},
+	}})
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "not ended on every path") && strings.Contains(f.Message, "the return at line") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no early-return span-leak finding naming the return line; got %v", findings)
+	}
+}
+
 func TestMalformedDirectivesAreFindings(t *testing.T) {
 	pkg := parseFixture(t, "directive.go", "fixture/directive", false)
 	findings := Run([]*Package{pkg}, Config{Checks: map[string]Rule{}})
@@ -184,6 +221,9 @@ func ok(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 func TestDefaultConfigCoversSched(t *testing.T) {
 	cfg := DefaultConfig()
 	for check, rule := range cfg.Checks {
+		if check == "hotalloc" {
+			continue // hotalloc is deliberately scoped to the sim/faas/workflow hot path
+		}
 		if !rule.appliesTo("aquatope/internal/sched") {
 			t.Errorf("check %s does not cover aquatope/internal/sched", check)
 		}

@@ -13,6 +13,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
 )
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -27,16 +30,35 @@ type listPackage struct {
 	XTestGoFiles []string
 }
 
-// Load resolves patterns (e.g. "./...") in dir to parsed, type-checked
-// packages ready for analysis. It shells out to the go command once —
-// `go list -deps -export -json` — to enumerate packages and obtain
-// compiled export data for every dependency, then type-checks the target
-// packages from source against that export data. This keeps the tool on
-// the standard library alone: no golang.org/x/tools.
-func Load(dir string, patterns ...string) ([]*Package, error) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+// listResult is one decoded `go list -deps -export -json` invocation:
+// export-data paths for every dependency plus the target package list.
+type listResult struct {
+	exports map[string]string
+	targets []listPackage
+}
+
+// The go list invocation dominates a cold lint run (it may rebuild
+// export data), so its decoded output is memoized per (dir, patterns)
+// for the life of the process: cmd/aqualint loads once anyway, but the
+// test suite calls Load repeatedly and shares a single exec.
+var (
+	listCacheMu sync.Mutex
+	listCache   = make(map[string]*listResult)
+)
+
+func goList(dir string, patterns []string) (*listResult, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
 	}
+	key := abs + "\x00" + strings.Join(patterns, "\x00")
+	listCacheMu.Lock()
+	cached := listCache[key]
+	listCacheMu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+
 	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -47,8 +69,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 
-	exports := make(map[string]string)
-	var targets []listPackage
+	res := &listResult{exports: make(map[string]string)}
 	dec := json.NewDecoder(&stdout)
 	for {
 		var p listPackage
@@ -58,16 +79,43 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("go list: decoding output: %v", err)
 		}
 		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+			res.exports[p.ImportPath] = p.Export
 		}
 		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
+			res.targets = append(res.targets, p)
 		}
 	}
 
+	listCacheMu.Lock()
+	listCache[key] = res
+	listCacheMu.Unlock()
+	return res, nil
+}
+
+// Load resolves patterns (e.g. "./...") in dir to parsed, type-checked
+// packages ready for analysis. It shells out to the go command once per
+// process — `go list -deps -export -json` — to enumerate packages and
+// obtain compiled export data for every dependency, parses all source
+// files concurrently, then type-checks the target packages from source
+// against that export data. This keeps the tool on the standard library
+// alone: no golang.org/x/tools.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	list, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
 	fset := token.NewFileSet()
+	files, err := parseAll(fset, list.targets)
+	if err != nil {
+		return nil, err
+	}
+
 	lookup := func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
+		file, ok := list.exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
@@ -76,8 +124,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
 	var pkgs []*Package
-	for _, t := range targets {
-		pkg, err := buildPackage(fset, imp, t)
+	for i, t := range list.targets {
+		pkg, err := buildPackage(fset, imp, t, files[i])
 		if err != nil {
 			return nil, err
 		}
@@ -86,31 +134,78 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
-func buildPackage(fset *token.FileSet, imp types.Importer, t listPackage) (*Package, error) {
-	pkg := &Package{PkgPath: t.ImportPath, Fset: fset}
-	var compiled []*ast.File
-	parse := func(names []string, test bool) error {
-		for _, name := range names {
-			path := filepath.Join(t.Dir, name)
-			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return fmt.Errorf("parsing %s: %v", path, err)
-			}
-			pkg.Files = append(pkg.Files, &File{Name: path, AST: f, Test: test})
-			if !test {
-				compiled = append(compiled, f)
-			}
+// parseJob is one source file to parse; target indexes listResult.targets.
+type parseJob struct {
+	target int
+	path   string
+	test   bool
+}
+
+// parseAll parses every file of every target concurrently (FileSet
+// methods are synchronized, so a shared fset is safe) and returns the
+// parsed files grouped per target in deterministic source order. Only
+// the type-check stays sequential: the gc export-data importer does not
+// document thread safety.
+func parseAll(fset *token.FileSet, targets []listPackage) ([][]*File, error) {
+	var jobs []parseJob
+	for i, t := range targets {
+		for _, name := range t.GoFiles {
+			jobs = append(jobs, parseJob{target: i, path: filepath.Join(t.Dir, name)})
 		}
-		return nil
+		for _, name := range t.TestGoFiles {
+			jobs = append(jobs, parseJob{target: i, path: filepath.Join(t.Dir, name), test: true})
+		}
+		for _, name := range t.XTestGoFiles {
+			jobs = append(jobs, parseJob{target: i, path: filepath.Join(t.Dir, name), test: true})
+		}
 	}
-	if err := parse(t.GoFiles, false); err != nil {
-		return nil, err
+
+	parsed := make([]*File, len(jobs))
+	errs := make([]error, len(jobs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	if err := parse(t.TestGoFiles, true); err != nil {
-		return nil, err
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				j := jobs[i]
+				f, err := parser.ParseFile(fset, j.path, nil, parser.ParseComments|parser.SkipObjectResolution)
+				if err != nil {
+					errs[i] = fmt.Errorf("parsing %s: %v", j.path, err)
+					continue
+				}
+				parsed[i] = &File{Name: j.path, AST: f, Test: j.test}
+			}
+		}()
 	}
-	if err := parse(t.XTestGoFiles, true); err != nil {
-		return nil, err
+	for i := range jobs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	files := make([][]*File, len(targets))
+	for i := range jobs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		files[jobs[i].target] = append(files[jobs[i].target], parsed[i])
+	}
+	return files, nil
+}
+
+func buildPackage(fset *token.FileSet, imp types.Importer, t listPackage, files []*File) (*Package, error) {
+	pkg := &Package{PkgPath: t.ImportPath, Fset: fset, Files: files}
+	var compiled []*ast.File
+	for _, f := range files {
+		if !f.Test {
+			compiled = append(compiled, f.AST)
+		}
 	}
 	if len(compiled) > 0 {
 		info := newTypesInfo()

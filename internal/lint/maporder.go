@@ -22,7 +22,7 @@ var maporderAnalyzer = &Analyzer{
 // not depend on map order.
 var defaultSinks = []string{"aquatope/internal/telemetry", "fmt"}
 
-func runMapOrder(pkg *Package, file *File, rule Rule, report Reporter) {
+func runMapOrder(prog *Program, pkg *Package, file *File, rule Rule, report Reporter) {
 	sinks := rule.Sinks
 	if len(sinks) == 0 {
 		sinks = defaultSinks

@@ -29,7 +29,7 @@ var metricnameEntryPoints = map[string]bool{
 // they are built from a constant it declares.
 var metricnameCatalog = []string{"aquatope/internal/telemetry"}
 
-func runMetricName(pkg *Package, file *File, rule Rule, report Reporter) {
+func runMetricName(prog *Program, pkg *Package, file *File, rule Rule, report Reporter) {
 	catalog := rule.Sinks
 	if len(catalog) == 0 {
 		catalog = metricnameCatalog

@@ -7,6 +7,29 @@ import (
 	"testing"
 )
 
+// TestSelfCheck asserts the default policy enables every registered
+// analyzer — all nine checks — and that each one actually applies to the
+// simulator core, so TestRepoIsLintClean below genuinely exercises the
+// full registry repo-wide rather than a stale subset.
+func TestSelfCheck(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, az := range Analyzers() {
+		rule, ok := cfg.Checks[az.Name]
+		if !ok {
+			t.Errorf("analyzer %s is not enabled in DefaultConfig", az.Name)
+			continue
+		}
+		// internal/sim is inside every check's scope, including the
+		// hot-path-scoped hotalloc.
+		if !rule.appliesTo("aquatope/internal/sim") {
+			t.Errorf("check %s does not cover aquatope/internal/sim", az.Name)
+		}
+	}
+	if len(cfg.Checks) != len(Analyzers()) {
+		t.Errorf("DefaultConfig enables %d checks but the registry has %d", len(cfg.Checks), len(Analyzers()))
+	}
+}
+
 // TestRepoIsLintClean enforces the acceptance bar for the lint gate: the
 // whole repository must pass every analyzer under the default policy with
 // zero un-annotated findings. It exercises the real loader (go list +

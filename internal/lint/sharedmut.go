@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var sharedmutAnalyzer = &Analyzer{
+	Name: "sharedmut",
+	Doc: "flag writes to variables captured by go-statement closures or " +
+		"replication-job closures without a guarding mutex: a static " +
+		"complement to -race that does not depend on a test exercising " +
+		"the interleaving",
+	NeedsTypes: true,
+	Run:        runSharedmut,
+}
+
+// sharedmutConcurrentPkgs are the packages whose function-literal
+// arguments (and function-typed struct fields, e.g. runner.Job.Run) run
+// on other goroutines; overridden by Rule.Sinks in fixtures.
+var sharedmutConcurrentPkgs = []string{"aquatope/internal/experiments/runner"}
+
+func runSharedmut(prog *Program, pkg *Package, file *File, rule Rule, report Reporter) {
+	concurrent := rule.Sinks
+	if len(concurrent) == 0 {
+		concurrent = sharedmutConcurrentPkgs
+	}
+	info := pkg.Info
+	ast.Inspect(file.AST, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				checkConcurrentClosure(info, lit, "go statement", concurrent, report)
+			}
+		case *ast.CallExpr:
+			// Function literals passed directly to the replication engine
+			// (runner.Run / runner.MustRun and friends) execute on worker
+			// goroutines.
+			if path := calleePath(info, x); path != "" && pathInCatalog(path, concurrent) {
+				for _, arg := range x.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						checkConcurrentClosure(info, lit, "replication job", concurrent, report)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// Job literals: a function-literal field of a struct declared in
+			// a concurrent package (runner.Job{Run: func(...){...}}).
+			if !typeInCatalog(info.TypeOf(x), concurrent) {
+				return true
+			}
+			for _, elt := range x.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if lit, ok := ast.Unparen(kv.Value).(*ast.FuncLit); ok {
+					checkConcurrentClosure(info, lit, "replication job", concurrent, report)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleePath resolves the declaring package of a call's callee: selector
+// calls through calleePackage (methods and qualified functions),
+// plain-identifier calls through the resolved *types.Func.
+func calleePath(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		path, _ := calleePackage(info, fun)
+		return path
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok && fn.Pkg() != nil {
+			return fn.Pkg().Path()
+		}
+	}
+	return ""
+}
+
+// typeInCatalog reports whether t (or its element/slice type) is a named
+// type declared in one of the catalog packages.
+func typeInCatalog(t types.Type, catalog []string) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return pathInCatalog(named.Obj().Pkg().Path(), catalog)
+}
+
+// checkConcurrentClosure flags writes inside lit to variables declared
+// outside it, unless the write is provably private or guarded:
+//
+//   - writes through a slice/array index that uses a closure-local
+//     variable are the engine's sharding idiom (results[i] = …, with i a
+//     param or received from a work channel): each goroutine owns its
+//     cell, so they are allowed — but map writes are never safe
+//     concurrently, indexed or not;
+//   - writes lexically preceded by a sync mutex Lock() call inside the
+//     same closure are treated as guarded.
+func checkConcurrentClosure(info *types.Info, lit *ast.FuncLit, what string, concurrent []string, report Reporter) {
+	locks := lockPositions(info, lit, concurrent)
+	guarded := func(n ast.Node) bool {
+		for _, lp := range locks {
+			if lp < n.Pos() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkConcurrentWrite(info, lit, lhs, st, what, guarded, report)
+			}
+		case *ast.IncDecStmt:
+			checkConcurrentWrite(info, lit, st.X, st, what, guarded, report)
+		}
+		return true
+	})
+}
+
+func checkConcurrentWrite(info *types.Info, lit *ast.FuncLit, lhs ast.Expr, at ast.Node, what string, guarded func(ast.Node) bool, report Reporter) {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil || !capturedBy(obj, lit) {
+		return
+	}
+	if guarded(at) {
+		return
+	}
+	if idx, container := indexedWrite(lhs); idx != nil {
+		if isMapIndex(info, container) {
+			report(at.Pos(), "%s closure writes to map %s captured from the enclosing scope; concurrent map writes fault at runtime — shard per goroutine and merge, or guard with a mutex", what, obj.Name())
+			return
+		}
+		if exprLocalTo(info, idx, lit) {
+			return // per-goroutine cell: results[i] with closure-local i
+		}
+	}
+	report(at.Pos(), "%s closure writes to %s captured from the enclosing scope without a guarding mutex; give each goroutine its own cell (indexed by a closure-local variable) or guard the write", what, obj.Name())
+}
+
+// capturedBy reports whether obj is a variable declared outside the
+// function literal (and therefore captured by reference).
+func capturedBy(obj types.Object, lit *ast.FuncLit) bool {
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// indexedWrite unwraps an index-expression write target, returning the
+// outermost index expression and the container being indexed; (nil, nil)
+// for plain identifier / selector targets.
+func indexedWrite(lhs ast.Expr) (idx ast.Expr, container ast.Expr) {
+	e := ast.Unparen(lhs)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		return ix.Index, ix.X
+	}
+	return nil, nil
+}
+
+func isMapIndex(info *types.Info, container ast.Expr) bool {
+	t := info.TypeOf(container)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// exprLocalTo reports whether every variable the expression references is
+// declared inside the function literal (params included): such an index
+// is private to the goroutine.
+func exprLocalTo(info *types.Info, e ast.Expr, lit *ast.FuncLit) bool {
+	local := true
+	sawVar := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return local
+		}
+		obj := info.ObjectOf(id)
+		if v, ok := obj.(*types.Var); ok {
+			sawVar = true
+			if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+				local = false
+			}
+		}
+		return local
+	})
+	return local && sawVar
+}
+
+// lockPositions collects the positions of mutex Lock() calls made
+// directly in the closure body (not in nested literals). A lock is a
+// Lock() method on a sync type — or, for fixtures, on a type declared in
+// a configured concurrent package.
+func lockPositions(info *types.Info, lit *ast.FuncLit, concurrent []string) []token.Pos {
+	var locks []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		if path, _ := calleePackage(info, sel); path == "sync" || pathInCatalog(path, concurrent) {
+			locks = append(locks, call.Pos())
+		}
+		return true
+	})
+	return locks
+}

@@ -1,0 +1,392 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var spanpairAnalyzer = &Analyzer{
+	Name: "spanpair",
+	Doc: "require every telemetry.StartSpan result to be ended on all " +
+		"control-flow paths of its function (or handed off / deferred); a " +
+		"leaked span never gets an End time and silently corrupts " +
+		"aquatrace's phase attribution",
+	NeedsTypes: true,
+	Run:        runSpanpair,
+}
+
+// spanpairCatalog is the package whose StartSpan/EndSpan calls are
+// tracked; overridden by Rule.Sinks in fixtures.
+var spanpairCatalog = []string{"aquatope/internal/telemetry"}
+
+func runSpanpair(prog *Program, pkg *Package, file *File, rule Rule, report Reporter) {
+	catalog := rule.Sinks
+	if len(catalog) == 0 {
+		catalog = spanpairCatalog
+	}
+	// Walk every function (decl or literal) independently: a span's
+	// lifecycle obligation is scoped to the function that starts it.
+	ast.Inspect(file.AST, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil {
+			checkSpanFunc(pkg, body, catalog, report)
+		}
+		return true
+	})
+}
+
+// checkSpanFunc checks one function body. Nested function literals are
+// analyzed by their own runSpanpair visit; here they only matter as
+// capture sites (escape) or deferred closers.
+func checkSpanFunc(pkg *Package, body *ast.BlockStmt, catalog []string, report Reporter) {
+	info := pkg.Info
+	var graph *funcCFG // built lazily, only when a span needs a path check
+	for _, st := range spanStarts(info, body, catalog) {
+		if st.obj == nil {
+			report(st.call.Pos(), "StartSpan result is discarded, so the span can never be ended; assign the SpanID and call EndSpan (or use Point for an instant event)")
+			continue
+		}
+		switch classifySpanUses(info, body, st, catalog) {
+		case spanEscapes, spanReassigned:
+			continue // lifecycle is non-local; out of scope for a per-function check
+		case spanDeferred:
+			continue // defer covers every exit, including panic unwinding
+		}
+		if graph == nil {
+			graph = buildCFG(body)
+		}
+		if !graph.ok {
+			continue // goto / labeled branches: bail conservatively
+		}
+		blk, idx := graph.blockOf(st.stmt)
+		if blk == nil {
+			continue
+		}
+		if pos, leaked := findSpanLeak(info, blk, idx, st.obj, catalog); leaked {
+			where := "the function's end"
+			if pos != token.NoPos {
+				where = "the return at line " + itoa(pkg.Fset.Position(pos).Line)
+			}
+			report(st.call.Pos(), "span %s is not ended on every path: %s is reachable without an EndSpan call; end it on all paths or defer the EndSpan", st.obj.Name(), where)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// spanStart is one StartSpan call site and the variable bound to it (nil
+// when the result is discarded in statement position).
+type spanStart struct {
+	call *ast.CallExpr
+	stmt ast.Stmt
+	obj  types.Object
+}
+
+// spanStarts finds StartSpan calls bound at statement level in body,
+// excluding nested function literals (they get their own visit).
+func spanStarts(info *types.Info, body *ast.BlockStmt, catalog []string) []spanStart {
+	var starts []spanStart
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isSpanCall(info, call, "StartSpan", catalog) {
+				return true
+			}
+			if len(st.Lhs) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				// Blank assign is a visible, reviewable discard (droppederr
+				// convention); indexed/field targets escape by construction.
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				starts = append(starts, spanStart{call: call, stmt: st, obj: obj})
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && isSpanCall(info, call, "StartSpan", catalog) {
+				starts = append(starts, spanStart{call: call, stmt: st})
+			}
+		}
+		return true
+	})
+	return starts
+}
+
+// isSpanCall reports whether call is <recv>.<method> with the method name
+// given and the receiver type declared in a catalog package.
+func isSpanCall(info *types.Info, call *ast.CallExpr, method string, catalog []string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	path, _ := calleePackage(info, sel)
+	return path != "" && pathInCatalog(path, catalog)
+}
+
+type spanDisposition int
+
+const (
+	spanLocal spanDisposition = iota // all uses are local: needs the path check
+	spanDeferred
+	spanEscapes
+	spanReassigned
+)
+
+func worseDisposition(a, b spanDisposition) spanDisposition {
+	if a == spanEscapes || b == spanEscapes {
+		return spanEscapes
+	}
+	if a == spanReassigned || b == spanReassigned {
+		return spanReassigned
+	}
+	if a == spanDeferred || b == spanDeferred {
+		return spanDeferred
+	}
+	return spanLocal
+}
+
+// classifySpanUses scans every use of the span variable in the function
+// body and decides whether the span's lifecycle stays local. Uses that
+// keep it local: EndSpan first argument, arguments to other telemetry
+// calls (parent plumbing), and comparisons (the `if id != 0` guard). A
+// deferred EndSpan (directly or in a deferred closure) discharges the
+// obligation on every exit including panics. Anything else — returned,
+// stored into a field/slice/map, passed to a non-telemetry function,
+// captured by a non-deferred closure, reassigned — makes the lifecycle
+// non-local, and the per-function check bails rather than guess.
+func classifySpanUses(info *types.Info, body *ast.BlockStmt, st spanStart, catalog []string) spanDisposition {
+	disp := spanLocal
+
+	classify := func(n ast.Node, inDefer bool) spanDisposition {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isSpanCall(info, x, "EndSpan", catalog) && len(x.Args) > 0 && usesObject(info, x.Args[0], st.obj) {
+				if inDefer {
+					return spanDeferred
+				}
+				return spanLocal
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if path, _ := calleePackage(info, sel); path != "" && pathInCatalog(path, catalog) {
+					return spanLocal // parent plumbing into telemetry
+				}
+			}
+			for _, arg := range x.Args {
+				if usesObject(info, arg, st.obj) {
+					return spanEscapes
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if usesObject(info, r, st.obj) {
+					return spanEscapes
+				}
+			}
+		case *ast.AssignStmt:
+			if x == st.stmt {
+				return spanLocal
+			}
+			for i, l := range x.Lhs {
+				if id := rootIdent(l); id != nil && info.ObjectOf(id) == st.obj {
+					return spanReassigned
+				}
+				if i < len(x.Rhs) && usesObject(info, x.Rhs[i], st.obj) {
+					// A telemetry call on the RHS (child := tr.StartSpan(...,
+					// parent, ...)) is parent plumbing, not a hand-off.
+					if call, ok := ast.Unparen(x.Rhs[i]).(*ast.CallExpr); ok {
+						if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+							if path, _ := calleePackage(info, sel); path != "" && pathInCatalog(path, catalog) {
+								continue
+							}
+						}
+					}
+					return spanEscapes
+				}
+			}
+			if len(x.Rhs) == 1 && len(x.Lhs) > 1 && usesObject(info, x.Rhs[0], st.obj) {
+				return spanEscapes
+			}
+		case *ast.CompositeLit:
+			for _, e := range x.Elts {
+				if usesObject(info, e, st.obj) {
+					return spanEscapes
+				}
+			}
+		case *ast.SendStmt:
+			if usesObject(info, x.Value, st.obj) {
+				return spanEscapes
+			}
+		}
+		return spanLocal
+	}
+
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || disp == spanEscapes || disp == spanReassigned {
+				return false
+			}
+			switch x := m.(type) {
+			case *ast.DeferStmt:
+				// The deferred call (and a deferred closure body) runs on
+				// every exit; walk it under the defer flag instead of the
+				// normal traversal.
+				if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				} else {
+					walk(x.Call, true)
+				}
+				return false
+			case *ast.FuncLit:
+				if m != n {
+					if inDefer {
+						walk(x.Body, true)
+					} else if usesObject(info, x, st.obj) {
+						// Captured by a closure that is not (provably)
+						// deferred: the lifecycle is non-local.
+						disp = worseDisposition(disp, spanEscapes)
+					}
+					return false
+				}
+			}
+			disp = worseDisposition(disp, classify(m, inDefer))
+			return disp != spanEscapes && disp != spanReassigned
+		})
+	}
+	walk(body, false)
+	return disp
+}
+
+// findSpanLeak walks the CFG from the statement after the StartSpan and
+// returns the first function exit reachable without an EndSpan(obj) call
+// (leaked == true; pos is the leaking return, or NoPos for the fall-off
+// end of the body). Edges whose condition proves the span is zero
+// (`id == 0` then-edge, `id != 0` else-edge) carry no live span and are
+// skipped.
+func findSpanLeak(info *types.Info, start *cfgBlock, idx int, obj types.Object, catalog []string) (token.Pos, bool) {
+	closes := func(s ast.Stmt) bool {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				// A closure's EndSpan only counts through defer; the
+				// disposition pass already handled deferred closures, and a
+				// DeferStmt's direct call is inspected below.
+				if _, isDefer := s.(*ast.DeferStmt); !isDefer {
+					return false
+				}
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if isSpanCall(info, call, "EndSpan", catalog) && len(call.Args) > 0 && usesObject(info, call.Args[0], obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	visited := map[*cfgBlock]bool{start: true}
+	var dfs func(b *cfgBlock, from int) (token.Pos, bool)
+	dfs = func(b *cfgBlock, from int) (token.Pos, bool) {
+		for i := from; i < len(b.stmts); i++ {
+			if closes(b.stmts[i]) {
+				return token.NoPos, false
+			}
+		}
+		if b.ret != nil {
+			return b.ret.Pos(), true // returning with the span still open
+		}
+		if len(b.succs) == 0 {
+			return token.NoPos, true // fell off the end of the body
+		}
+		for _, e := range b.succs {
+			if spanProvedZero(info, e, obj) || visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			if pos, leaked := dfs(e.to, 0); leaked {
+				return pos, true
+			}
+		}
+		return token.NoPos, false
+	}
+	return dfs(start, idx)
+}
+
+// spanProvedZero reports whether taking edge e implies the span variable
+// is the zero SpanID (no live span): the false edge of `obj != 0` or the
+// true edge of `obj == 0`.
+func spanProvedZero(info *types.Info, e cfgEdge, obj types.Object) bool {
+	if e.cond == nil {
+		return false
+	}
+	bin, ok := ast.Unparen(e.cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var other ast.Expr
+	switch {
+	case refersTo(info, bin.X, obj):
+		other = bin.Y
+	case refersTo(info, bin.Y, obj):
+		other = bin.X
+	default:
+		return false
+	}
+	if !isZeroLiteral(other) {
+		return false
+	}
+	switch bin.Op {
+	case token.NEQ:
+		return e.negate // else-branch of id != 0
+	case token.EQL:
+		return !e.negate // then-branch of id == 0
+	}
+	return false
+}
+
+func refersTo(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

@@ -1,0 +1,99 @@
+// Fixtures for the hotalloc analyzer: advisory allocation hygiene in
+// per-event loops. The checks are purely local, so no catalog override
+// is needed.
+package fixture
+
+import "fmt"
+
+func hotConsume(s string) {}
+
+func hotConsumeInts(xs []int) {}
+
+func hotCleanup() {}
+
+// --- append without preallocation ---
+
+func hotallocAppendUncapped(events []int) []int {
+	var out []int
+	for _, e := range events {
+		out = append(out, e*2) // want hotalloc
+	}
+	return out
+}
+
+func hotallocEmptyLiteral(events []int) []int {
+	out := []int{}
+	for _, e := range events {
+		if e > 0 {
+			out = append(out, e) // want hotalloc
+		}
+	}
+	return out
+}
+
+func hotallocPreallocated(events []int) []int {
+	out := make([]int, 0, len(events))
+	for _, e := range events {
+		out = append(out, e*2) // ok: capacity reserved before the loop
+	}
+	return out
+}
+
+func hotallocFreshPerIteration(events []int) {
+	for _, e := range events {
+		var batch []int
+		batch = append(batch, e) // ok: a fresh slice each iteration
+		hotConsumeInts(batch)
+	}
+}
+
+func hotallocBulkAppend(chunks [][]int) []int {
+	var out []int
+	for _, c := range chunks {
+		out = append(out, c...) // ok: bulk growth, not per-event
+	}
+	return out
+}
+
+// --- fmt formatting inside loops ---
+
+func hotallocSprintfInLoop(names []string) {
+	for _, n := range names {
+		hotConsume(fmt.Sprintf("event-%s", n)) // want hotalloc
+	}
+}
+
+func hotallocSprintfHoisted(prefix string, names []string) {
+	label := fmt.Sprintf("event-%s", prefix) // ok: hoisted out of the loop
+	for range names {
+		hotConsume(label)
+	}
+}
+
+// --- defer inside loops ---
+
+func hotallocDeferInLoop(events []int) {
+	for range events {
+		defer hotCleanup() // want hotalloc
+	}
+}
+
+func hotallocDeferInClosure(events []int) {
+	for range events {
+		func() {
+			defer hotCleanup() // ok: runs at each closure's exit
+		}()
+	}
+}
+
+// --- allowed ---
+
+func hotallocAllowed(events []int) []int {
+	var hits []int
+	for _, e := range events {
+		if e > 100 {
+			hits = append(hits, e) //aqualint:allow hotalloc rare hits; preallocating len(events) would waste more than it saves
+		}
+	}
+	return hits
+}

@@ -1,0 +1,110 @@
+// Fixtures for the sharedmut analyzer. The test config points the
+// concurrent-package catalog (Rule.Sinks) at this fixture package, so
+// Job / RunJobs / Replicate below play the role of runner.Job and
+// runner.Run, and fakeMutex stands in for sync.Mutex.
+package fixture
+
+type Job struct {
+	Name string
+	Run  func(rep int)
+}
+
+func RunJobs(par int, jobs []Job) {}
+
+func Replicate(par int, body func(rep int)) {}
+
+type fakeMutex struct{}
+
+func (m *fakeMutex) Lock()   {}
+func (m *fakeMutex) Unlock() {}
+
+// --- go statements ---
+
+func sharedmutGoWrite(done chan struct{}) int {
+	total := 0
+	go func() {
+		total++ // want sharedmut
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+func sharedmutShardedIndex(out []int, jobs chan int) {
+	go func() {
+		for i := range jobs {
+			out[i] = i * 2 // ok: the index is goroutine-local, each writer owns its cell
+		}
+	}()
+}
+
+func sharedmutSharedIndex(out []int, i int) {
+	go func() {
+		out[i] = 1 // want sharedmut
+	}()
+}
+
+func sharedmutMapWrite(counts map[string]int, keys chan string) {
+	go func() {
+		for k := range keys {
+			counts[k]++ // want sharedmut
+		}
+	}()
+}
+
+func sharedmutGuarded(mu *fakeMutex) int {
+	total := 0
+	go func() {
+		mu.Lock()
+		total += 7 // ok: the write is behind the mutex
+		mu.Unlock()
+	}()
+	return total
+}
+
+// --- replication jobs ---
+
+func sharedmutJobLiteral() []Job {
+	sum := 0
+	jobs := []Job{{
+		Name: "accumulate",
+		Run: func(rep int) {
+			sum += rep // want sharedmut
+		},
+	}}
+	return jobs
+}
+
+func sharedmutJobLocal() []Job {
+	return []Job{{
+		Name: "independent",
+		Run: func(rep int) {
+			local := rep * rep // ok: nothing captured is written
+			_ = local
+		},
+	}}
+}
+
+func sharedmutReplicateSharded(results []float64) {
+	Replicate(4, func(rep int) {
+		results[rep] = float64(rep) // ok: rep shards the slice
+	})
+}
+
+func sharedmutReplicateCapture() float64 {
+	mean := 0.0
+	Replicate(4, func(rep int) {
+		mean += float64(rep) // want sharedmut
+	})
+	return mean
+}
+
+// --- allowed ---
+
+func sharedmutAllowed() bool {
+	ready := false
+	go func() {
+		ready = true //aqualint:allow sharedmut single writer; readers load only after the channel sync
+	}()
+	return ready
+}

@@ -1,0 +1,125 @@
+// Fixtures for the spanpair analyzer. The test config points the
+// telemetry catalog (Rule.Sinks) at this fixture package, so spanTracer
+// below plays the role of telemetry.Tracer: every StartSpan result must
+// reach an EndSpan on all control-flow paths, be deferred, or be handed
+// off to an owner outside the function.
+package fixture
+
+type spanID int
+
+type spanTracer struct{ next spanID }
+
+func (t *spanTracer) StartSpan(kind, name string, parent spanID, at float64) spanID {
+	t.next++
+	return t.next
+}
+
+func (t *spanTracer) EndSpan(id spanID, at float64) {}
+
+func (t *spanTracer) Point(kind, name string, parent spanID, at float64) {}
+
+func spanWork() {}
+
+func spanMayPanic() {}
+
+// --- leaks ---
+
+func spanLeakEarlyReturn(tr *spanTracer, fail bool) {
+	id := tr.StartSpan("stage", "s", 0, 0) // want spanpair
+	if fail {
+		return // leaks the span
+	}
+	tr.EndSpan(id, 1)
+}
+
+func spanLeakSwitchClause(tr *spanTracer, mode int) {
+	id := tr.StartSpan("stage", "s", 0, 0) // want spanpair
+	switch mode {
+	case 0:
+		tr.EndSpan(id, 1)
+	case 1:
+		return // leaks the span
+	default:
+		tr.EndSpan(id, 2)
+	}
+}
+
+func spanLeakInLoop(tr *spanTracer, n int) {
+	parent := tr.StartSpan("workflow", "w", 0, 0)
+	for i := 0; i < n; i++ {
+		child := tr.StartSpan("stage", "s", parent, 0) // want spanpair
+		tr.Point("event", "e", child, 1)
+	}
+	tr.EndSpan(parent, 9)
+}
+
+func spanDiscarded(tr *spanTracer) {
+	tr.StartSpan("stage", "s", 0, 0) // want spanpair
+}
+
+// --- closed on every path ---
+
+func spanClosedBothBranches(tr *spanTracer, fail bool) {
+	id := tr.StartSpan("stage", "s", 0, 0)
+	if fail {
+		tr.EndSpan(id, 1)
+		return
+	}
+	spanWork()
+	tr.EndSpan(id, 2)
+}
+
+func spanDeferredEnd(tr *spanTracer) {
+	id := tr.StartSpan("stage", "s", 0, 0)
+	defer tr.EndSpan(id, 1)
+	spanMayPanic()
+}
+
+func spanDeferredClosure(tr *spanTracer) {
+	id := tr.StartSpan("stage", "s", 0, 0)
+	defer func() { tr.EndSpan(id, 1) }()
+	spanMayPanic()
+}
+
+func spanZeroGuard(tr *spanTracer, trace bool) {
+	var id spanID
+	if trace {
+		id = tr.StartSpan("stage", "s", 0, 0)
+	}
+	spanWork()
+	if id != 0 {
+		tr.EndSpan(id, 1)
+	}
+}
+
+// --- non-local lifecycles: conservatively out of scope ---
+
+type spanBag struct{ spans []spanID }
+
+func spanStoredForLater(tr *spanTracer, bag *spanBag) {
+	id := tr.StartSpan("stage", "s", 0, 0)
+	bag.spans = append(bag.spans, id) // handed off: closed elsewhere
+}
+
+func spanReturnedToCaller(tr *spanTracer) spanID {
+	id := tr.StartSpan("stage", "s", 0, 0)
+	return id // the caller owns the lifecycle
+}
+
+func spanReassignedVar(tr *spanTracer, again bool) {
+	id := tr.StartSpan("stage", "a", 0, 0)
+	if again {
+		id = tr.StartSpan("stage", "b", 0, 0)
+	}
+	tr.EndSpan(id, 1)
+}
+
+// --- allowed ---
+
+func spanAllowed(tr *spanTracer, fail bool) {
+	id := tr.StartSpan("stage", "s", 0, 0) //aqualint:allow spanpair the collector flushes open spans at shutdown
+	if fail {
+		return
+	}
+	tr.EndSpan(id, 1)
+}

@@ -27,7 +27,7 @@ var wallclockAnalyzer = &Analyzer{
 	Run: runWallclock,
 }
 
-func runWallclock(pkg *Package, file *File, rule Rule, report Reporter) {
+func runWallclock(prog *Program, pkg *Package, file *File, rule Rule, report Reporter) {
 	names, dot, spec := importNames(file.AST, "time")
 	if dot {
 		report(spec.Pos(), "dot-import of time hides wall-clock calls from aqualint; import it qualified")

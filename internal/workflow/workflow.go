@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"aquatope/internal/faas"
 	"aquatope/internal/sim"
@@ -82,8 +83,9 @@ func NewDAG(name string, stages []Stage) (*DAG, error) {
 			indeg[i]++
 		}
 	}
-	// Kahn's algorithm for topological order / cycle detection.
-	var queue []int
+	// Kahn's algorithm for topological order / cycle detection. Every
+	// stage enters the queue exactly once, so len(stages) is an exact cap.
+	queue := make([]int, 0, len(stages))
 	for i, deg := range indeg {
 		if deg == 0 {
 			queue = append(queue, i)
@@ -111,8 +113,8 @@ func (d *DAG) Stages() []Stage { return append([]Stage(nil), d.stages...) }
 
 // Functions returns the distinct function names used, in stage order.
 func (d *DAG) Functions() []string {
-	seen := make(map[string]bool)
-	var out []string
+	seen := make(map[string]bool, len(d.stages))
+	out := make([]string, 0, len(d.stages))
 	for _, s := range d.stages {
 		if !seen[s.Function] {
 			seen[s.Function] = true
@@ -126,9 +128,9 @@ func (d *DAG) Functions() []string {
 func Chain(name string, functions ...string) *DAG {
 	stages := make([]Stage, len(functions))
 	for i, fn := range functions {
-		stages[i] = Stage{Name: fmt.Sprintf("s%d", i), Function: fn}
+		stages[i] = Stage{Name: "s" + strconv.Itoa(i), Function: fn}
 		if i > 0 {
-			stages[i].Deps = []string{fmt.Sprintf("s%d", i-1)}
+			stages[i].Deps = []string{"s" + strconv.Itoa(i-1)}
 		}
 	}
 	d, err := NewDAG(name, stages)
@@ -140,10 +142,11 @@ func Chain(name string, functions ...string) *DAG {
 
 // FanOutFanIn builds source -> {branches...} -> sink.
 func FanOutFanIn(name, source string, branches []string, sink string) *DAG {
-	stages := []Stage{{Name: "source", Function: source}}
-	var branchNames []string
+	stages := make([]Stage, 0, len(branches)+2)
+	stages = append(stages, Stage{Name: "source", Function: source})
+	branchNames := make([]string, 0, len(branches))
 	for i, fn := range branches {
-		bn := fmt.Sprintf("branch%d", i)
+		bn := "branch" + strconv.Itoa(i)
 		branchNames = append(branchNames, bn)
 		stages = append(stages, Stage{Name: bn, Function: fn, Deps: []string{"source"}})
 	}
@@ -625,7 +628,7 @@ func (e *Executor) Execute(d *DAG, inputSize float64, widths map[string]int, don
 
 // StageNames returns sorted stage names of a result (stable for reports).
 func (r Result) StageNames() []string {
-	var names []string
+	names := make([]string, 0, len(r.PerStage))
 	for k := range r.PerStage {
 		names = append(names, k)
 	}

@@ -40,6 +40,26 @@ func TestChainTopology(t *testing.T) {
 	}
 }
 
+// TestDAGQueryAllocations pins the hotalloc sweep fix: Functions and
+// StageNames preallocate their result slices (len(stages) and
+// len(PerStage) are exact caps), so each is a single allocation instead
+// of a geometric append-growth chain. These run per executed workflow in
+// reporting paths, so the bound matters at fleet scale.
+func TestDAGQueryAllocations(t *testing.T) {
+	d := Chain("c", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8")
+	if got := testing.AllocsPerRun(200, func() { _ = d.Functions() }); got > 2 {
+		t.Errorf("Functions allocates %.0f times per call, want <= 2 (preallocated result)", got)
+	}
+	per := make(map[string][]faas.InvocationResult)
+	for _, s := range d.Stages() {
+		per[s.Name] = nil
+	}
+	r := Result{PerStage: per}
+	if got := testing.AllocsPerRun(200, func() { _ = r.StageNames() }); got > 2 {
+		t.Errorf("StageNames allocates %.0f times per call, want <= 2 (preallocated result)", got)
+	}
+}
+
 func TestChainExecutesSequentially(t *testing.T) {
 	eng, _, ex := setup(t, map[string]*fixedModel{
 		"f1": {init: 0, exec: 1},
