@@ -112,6 +112,15 @@ type Model struct {
 	// from residuals when HeteroscedasticCounts is set.
 	dispersion float64
 	trained    bool
+
+	// Reusable buffers for the training and inference hot loops: the
+	// variational dropout masks (resampled in place, same RNG draws as
+	// fresh allocation), the decoder's constant zero input rows, and the
+	// prediction network's concatenated input.
+	maskX, maskH []nn.DropoutMask
+	zeroRow      []float64
+	zeroSeq      [][]float64
+	inBuf        []float64
 }
 
 // New constructs an untrained model.
@@ -127,6 +136,9 @@ func New(cfg Config) *Model {
 	m.encoder = nn.NewLSTMStack("enc", cfg.Input, cfg.EncoderHidden, cfg.EncoderLayers, rng)
 	m.bridgeH = nn.NewDense("bridge", cfg.EncoderHidden, cfg.DecoderHidden, nn.Tanh, rng)
 	m.decoder = nn.NewLSTM("dec", 1, cfg.DecoderHidden, rng)
+	// The decoder is fed constant zeros and its input gradient is never
+	// consumed, so skip computing it.
+	m.decoder.NoInputGrad = true
 	m.decOut = nn.NewDense("decOut", cfg.DecoderHidden, 1, nn.Identity, rng)
 	sizes := append([]int{cfg.EncoderHidden + cfg.ExtDim}, cfg.PredHidden...)
 	sizes = append(sizes, 1)
@@ -140,12 +152,19 @@ func (m *Model) Trained() bool { return m.trained }
 // encoderMasks samples fresh variational dropout masks, one input and one
 // recurrent mask per encoder layer, reused across all timesteps of a
 // sequence (Gal & Ghahramani 2016).
+// The mask buffers are resampled in place (same RNG draws as allocating
+// fresh masks) and stay valid until the next encode.
 func (m *Model) encoderMasks() (mxs, mhs []nn.DropoutMask) {
-	for _, l := range m.encoder.Layers {
-		mxs = append(mxs, nn.NewDropoutMask(l.In, m.cfg.DropoutRate, m.rng))
-		mhs = append(mhs, nn.NewDropoutMask(l.Hidden, m.cfg.DropoutRate, m.rng))
+	for len(m.maskX) < len(m.encoder.Layers) {
+		m.maskX = append(m.maskX, nil)
+		m.maskH = append(m.maskH, nil)
 	}
-	return mxs, mhs
+	for i, l := range m.encoder.Layers {
+		m.maskX[i] = nn.ResampleDropoutMask(m.maskX[i], l.In, m.cfg.DropoutRate, m.rng)
+		m.maskH[i] = nn.ResampleDropoutMask(m.maskH[i], l.Hidden, m.cfg.DropoutRate, m.rng)
+	}
+	n := len(m.encoder.Layers)
+	return m.maskX[:n], m.maskH[:n]
 }
 
 // encode runs the encoder over a (already scaled) history and returns Z.
@@ -177,20 +196,28 @@ func (m *Model) Train(samples []Sample) {
 	_, m.histMean, m.histStd = stats.Standardize(raw)
 	m.fitExtScaling(samples)
 
-	m.trainEncoderDecoder(samples)
-	m.trainPredictionNetwork(samples)
-	m.estimateResidualStd(samples)
+	// Histories are standardized with statistics fixed above, so the scaled
+	// windows are loop-invariant across epochs: compute them once instead of
+	// once per (epoch, sample).
+	scaled := make([][][]float64, len(samples))
+	for i, s := range samples {
+		scaled[i] = m.scaleHistory(s.History)
+	}
+
+	m.trainEncoderDecoder(samples, scaled)
+	m.trainPredictionNetwork(samples, scaled)
+	m.estimateResidualStd(samples, scaled)
 	m.trained = true
 }
 
 // estimateResidualStd measures the aleatoric noise floor as the standard
 // deviation of deterministic-prediction residuals over the training set,
 // plus (when enabled) the Poisson-like dispersion φ with Var ≈ φ·mean.
-func (m *Model) estimateResidualStd(samples []Sample) {
+func (m *Model) estimateResidualStd(samples []Sample, scaled [][][]float64) {
 	var sq, dispNum, dispDen float64
 	n := 0
-	for _, s := range samples {
-		pred := m.PredictDeterministic(s.History, s.External)
+	for i, s := range samples {
+		pred := m.predictDetScaled(scaled[i], s.History, s.External)
 		d := s.Target - pred
 		sq += d * d
 		n++
@@ -278,12 +305,43 @@ func (m *Model) scaleHistory(history [][]float64) [][]float64 {
 // history; the decoder, initialized from a learned bridge of Z,
 // autoregressively reconstructs the next Horizon target values with
 // teacher forcing.
-func (m *Model) trainEncoderDecoder(samples []Sample) {
+// zeroInputs returns k rows of the shared all-zero decoder input. All rows
+// alias one buffer; the decoder only reads them.
+func (m *Model) zeroInputs(k int) [][]float64 {
+	if m.zeroRow == nil {
+		m.zeroRow = []float64{0}
+	}
+	for len(m.zeroSeq) < k {
+		m.zeroSeq = append(m.zeroSeq, m.zeroRow)
+	}
+	return m.zeroSeq[:k]
+}
+
+// concatInto writes a ⊕ b into the model's reusable input buffer, valid
+// until the next concatInto call.
+func (m *Model) concatInto(a, b []float64) []float64 {
+	n := len(a) + len(b)
+	if cap(m.inBuf) < n {
+		m.inBuf = make([]float64, n)
+	}
+	buf := m.inBuf[:n]
+	copy(buf, a)
+	copy(buf[len(a):], b)
+	return buf
+}
+
+func (m *Model) trainEncoderDecoder(samples []Sample, scaled [][][]float64) {
 	params := append(m.encoder.Params(), m.bridgeH.Params()...)
 	params = append(params, m.decoder.Params()...)
 	params = append(params, m.decOut.Params()...)
 	opt := nn.NewAdam(m.cfg.LR, params)
 
+	std := m.histStd
+	if std == 0 {
+		std = 1
+	}
+	tgt := []float64{0}
+	var dhs [][]float64
 	for epoch := 0; epoch < m.cfg.EncoderEpochs; epoch++ {
 		order := m.rng.Perm(len(samples))
 		for _, idx := range order {
@@ -291,8 +349,7 @@ func (m *Model) trainEncoderDecoder(samples []Sample) {
 			if len(s.Future) == 0 {
 				continue
 			}
-			history := m.scaleHistory(s.History)
-			z := m.encode(history, true)
+			z := m.encode(scaled[idx], true)
 			h0 := m.bridgeH.Forward(z)
 
 			// Decoder inputs are zeros: the reconstruction must flow
@@ -303,21 +360,17 @@ func (m *Model) trainEncoderDecoder(samples []Sample) {
 			if k > m.cfg.Horizon {
 				k = m.cfg.Horizon
 			}
-			xs := make([][]float64, k)
-			for t := 0; t < k; t++ {
-				xs[t] = []float64{0}
-			}
-			hs := m.decoder.ForwardSeq(xs, h0, nil, nil, nil)
+			hs := m.decoder.ForwardSeq(m.zeroInputs(k), h0, nil, nil, nil)
 
 			// Per-step output loss (raw-count scale).
-			dhs := make([][]float64, k)
-			std := m.histStd
-			if std == 0 {
-				std = 1
+			if cap(dhs) < k {
+				dhs = make([][]float64, k)
 			}
+			dhs = dhs[:k]
 			for t := 0; t < k; t++ {
 				pred := m.decOut.Forward(hs[t])
-				_, g := nn.MSELoss(pred, []float64{(s.Future[t] - m.histMean) / std})
+				tgt[0] = (s.Future[t] - m.histMean) / std
+				_, g := nn.MSELoss(pred, tgt)
 				dhs[t] = m.decOut.Backward(g)
 			}
 			_, dh0, _ := m.decoder.BackwardSeq(dhs, nil, nil)
@@ -332,7 +385,7 @@ func (m *Model) trainEncoderDecoder(samples []Sample) {
 // with the encoder frozen (used as a feature-extraction black box, per the
 // paper) but with variational dropout still active so the prediction network
 // learns under the same stochasticity used at inference time.
-func (m *Model) trainPredictionNetwork(samples []Sample) {
+func (m *Model) trainPredictionNetwork(samples []Sample, scaled [][][]float64) {
 	params := m.pred.Params()
 	var encOpt *nn.Adam
 	if m.cfg.FineTuneEncoder {
@@ -340,22 +393,28 @@ func (m *Model) trainPredictionNetwork(samples []Sample) {
 	}
 	opt := nn.NewAdam(m.cfg.LR, params)
 	m.pred.Train = true
-	// Precompute sample weights against zero-dominated imbalance.
+	// Precompute sample weights against zero-dominated imbalance, plus the
+	// loop-invariant scaled externals and regression targets.
 	weights := make([]float64, len(samples))
+	exts := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
 	for i, s := range samples {
 		weights[i] = 1
+		ys[i] = m.scaleY(m.target(s))
+		exts[i] = m.scaleExt(s.External)
 		if m.cfg.SpikeWeight > 0 {
-			weights[i] += m.cfg.SpikeWeight * math.Abs(m.scaleY(m.target(s)))
+			weights[i] += m.cfg.SpikeWeight * math.Abs(ys[i])
 		}
 	}
+	tgt := []float64{0}
 	for epoch := 0; epoch < m.cfg.PredEpochs; epoch++ {
 		order := m.rng.Perm(len(samples))
 		for _, idx := range order {
-			s := samples[idx]
-			z := m.encode(m.scaleHistory(s.History), true)
-			in := concat(z, m.scaleExt(s.External))
+			z := m.encode(scaled[idx], true)
+			in := m.concatInto(z, exts[idx])
 			pred := m.pred.Forward(in)
-			_, g := nn.MSELoss(pred, []float64{m.scaleY(m.target(s))})
+			tgt[0] = ys[idx]
+			_, g := nn.MSELoss(pred, tgt)
 			for j := range g {
 				g[j] *= weights[idx]
 			}
@@ -368,12 +427,6 @@ func (m *Model) trainPredictionNetwork(samples []Sample) {
 			}
 		}
 	}
-}
-
-func concat(a, b []float64) []float64 {
-	out := make([]float64, 0, len(a)+len(b))
-	out = append(out, a...)
-	return append(out, b...)
 }
 
 // Prediction is a predictive distribution from MC dropout.
@@ -404,7 +457,7 @@ func (m *Model) Predict(history [][]float64, external []float64) Prediction {
 	outs := make([]float64, T)
 	for t := 0; t < T; t++ {
 		z := m.encode(scaled, m.cfg.DropoutRate > 0)
-		y := m.pred.Forward(concat(z, ext))[0]
+		y := m.pred.Forward(m.concatInto(z, ext))[0]
 		outs[t] = base + m.unscaleY(y)
 	}
 	mean := stats.Mean(outs)
@@ -429,10 +482,15 @@ func (m *Model) Predict(history [][]float64, external []float64) Prediction {
 // the "AquaLite" ablation from the paper's Fig. 11 (no uncertainty
 // estimation).
 func (m *Model) PredictDeterministic(history [][]float64, external []float64) float64 {
-	scaled := m.scaleHistory(history)
+	return m.predictDetScaled(m.scaleHistory(history), history, external)
+}
+
+// predictDetScaled is PredictDeterministic over an already-scaled history;
+// the raw history is still needed for the persistence-forecast base.
+func (m *Model) predictDetScaled(scaled [][]float64, history [][]float64, external []float64) float64 {
 	m.pred.Train = false
 	z := m.encode(scaled, false)
-	y := m.pred.Forward(concat(z, m.scaleExt(external)))[0]
+	y := m.pred.Forward(m.concatInto(z, m.scaleExt(external)))[0]
 	base := 0.0
 	if m.cfg.PredictDelta {
 		base = lastCount(history)

@@ -12,7 +12,7 @@ import (
 // samples the incumbent jointly. We verify NEI's chosen incumbent value is
 // statistically higher (more realistic) than the raw noisy minimum.
 func TestNEISampleIncumbents(t *testing.T) {
-	e := New(Config{Dim: 1, QoS: 10, Seed: 1})
+	e := New(Options{Dim: 1, QoS: 10, Seed: 1})
 	rng := stats.NewRNG(2)
 	// True cost constant at 1.0 with noise: observed min will be ~0.7.
 	var obs []Observation
@@ -39,7 +39,7 @@ func TestNEISampleIncumbents(t *testing.T) {
 // TestEIIncumbentIsObservedBest: under the EI acquisition the incumbent is
 // exactly the best observed feasible cost.
 func TestEIIncumbentIsObservedBest(t *testing.T) {
-	e := New(Config{Dim: 1, QoS: 1.5, Seed: 3, Acquisition: EI, DisableAnomalyDetection: true})
+	e := New(Options{Dim: 1, QoS: 1.5, Seed: 3, Acquisition: EI, DisableAnomalyDetection: true})
 	e.Observe([]Observation{
 		{X: []float64{0.2}, Cost: 5, Latency: 1},   // feasible
 		{X: []float64{0.8}, Cost: 2, Latency: 2},   // infeasible
@@ -56,7 +56,7 @@ func TestEIIncumbentIsObservedBest(t *testing.T) {
 // TestEIFallsBackWhenNothingFeasible: with no feasible point the incumbent
 // falls back to the overall minimum.
 func TestEIFallsBackWhenNothingFeasible(t *testing.T) {
-	e := New(Config{Dim: 1, QoS: 0.1, Seed: 4, Acquisition: EI, DisableAnomalyDetection: true})
+	e := New(Options{Dim: 1, QoS: 0.1, Seed: 4, Acquisition: EI, DisableAnomalyDetection: true})
 	e.Observe([]Observation{
 		{X: []float64{0.2}, Cost: 5, Latency: 1},
 		{X: []float64{0.8}, Cost: 2, Latency: 2},
@@ -70,7 +70,7 @@ func TestEIFallsBackWhenNothingFeasible(t *testing.T) {
 // TestBatchDiversity: the greedy fantasy update should spread a batch
 // rather than picking near-duplicates.
 func TestBatchDiversity(t *testing.T) {
-	e := New(Config{Dim: 2, QoS: 10, Seed: 5})
+	e := New(Options{Dim: 2, QoS: 10, Seed: 5})
 	rng := stats.NewRNG(6)
 	var obs []Observation
 	for i := 0; i < 10; i++ {
@@ -102,7 +102,7 @@ func TestBatchDiversity(t *testing.T) {
 // boundary, the candidate pool should be dominated by likely-feasible
 // points.
 func TestCandidatePoolPrunesInfeasible(t *testing.T) {
-	e := New(Config{Dim: 1, QoS: 1, Seed: 7})
+	e := New(Options{Dim: 1, QoS: 1, Seed: 7})
 	// latency = 2 - 1.8x: feasible only for x > ~0.55.
 	var obs []Observation
 	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.2, 0.8, 0.6} {
@@ -112,7 +112,7 @@ func TestCandidatePoolPrunesInfeasible(t *testing.T) {
 	cands := e.candidatePool()
 	feasibleish := 0
 	for _, c := range cands {
-		if c[0] > 0.5 {
+		if c.x[0] > 0.5 {
 			feasibleish++
 		}
 	}

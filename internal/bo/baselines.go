@@ -140,21 +140,34 @@ func (c *CLITE) Suggest() [][]float64 {
 	return [][]float64{bestX}
 }
 
-// Observe implements Optimizer.
+// Observe implements Optimizer. Scores are fixed at observation time and
+// history is never evicted, so the surrogate grows by incremental appends
+// (rank-1 factor extensions) instead of a full refit per batch; only the
+// every-5-observations hyperparameter refit reconditions from scratch.
 func (c *CLITE) Observe(batch []Observation) {
 	c.obs = append(c.obs, batch...)
 	c.since += len(batch)
+	ok := true
+	for _, o := range batch {
+		if c.surr.Observe(o.X, c.score(o)) != nil {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		// Recondition from scratch; scores are recomputable from history.
+		xs := make([][]float64, len(c.obs))
+		ys := make([]float64, len(c.obs))
+		for i, o := range c.obs {
+			xs[i] = o.X
+			ys[i] = c.score(o)
+		}
+		if err := c.surr.Fit(xs, ys); err != nil {
+			c.fitted = false
+			return
+		}
+	}
 	if len(c.obs) < 2 {
-		return
-	}
-	xs := make([][]float64, len(c.obs))
-	ys := make([]float64, len(c.obs))
-	for i, o := range c.obs {
-		xs[i] = o.X
-		ys[i] = c.score(o)
-	}
-	if err := c.surr.Fit(xs, ys); err != nil {
-		c.fitted = false
 		return
 	}
 	if c.since >= 5 {

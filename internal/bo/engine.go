@@ -17,6 +17,13 @@
 //  3. Batch sampling: a greedy q-point selection with per-sample fantasy
 //     bookkeeping selects BatchSize candidates per iteration.
 //
+// The surrogates are maintained incrementally: each Observe extends the
+// GPs' sliding windows through rank-1 Cholesky updates (O(n²) per step),
+// full refactorizations happen only on the refit-every-k hyperparameter
+// schedule and at window construction, and the anomaly screen's
+// leave-one-out residuals come from the closed-form identities on the
+// existing factor instead of n refitted diagnostic models.
+//
 // All optimization happens over the normalized unit cube [0,1]^Dim; callers
 // map coordinates to concrete CPU/memory/concurrency settings.
 package bo
@@ -50,14 +57,40 @@ const (
 	EI
 )
 
-// Config parameterizes the engine. Zero values are replaced by the paper's
-// defaults in New.
-type Config struct {
-	Dim       int     // dimensionality of the normalized config space
-	QoS       float64 // end-to-end latency constraint
-	BatchSize int     // candidates sampled per iteration (paper: 3)
-	Bootstrap int     // random configs before the model kicks in
-	MCSamples int     // QMC samples for the acquisition integral
+// KernelKind selects the GP covariance family for both surrogates.
+type KernelKind int
+
+const (
+	// KernelMatern52 is the paper's Matérn-5/2 kernel (default).
+	KernelMatern52 KernelKind = iota
+	// KernelRBF is the squared-exponential ablation kernel.
+	KernelRBF
+)
+
+func (k KernelKind) build(dim int) gp.Kernel {
+	if k == KernelRBF {
+		return gp.NewRBF(dim)
+	}
+	return gp.NewMatern52(dim)
+}
+
+// Options is the single construction surface of the engine: model choice,
+// acquisition, batch shape, sliding window, refit schedule and cache
+// toggles. Zero values are replaced by the paper's defaults in New.
+type Options struct {
+	Dim int     // dimensionality of the normalized config space
+	QoS float64 // end-to-end latency constraint
+
+	// Kernel selects the surrogate covariance family (default Matérn-5/2).
+	Kernel KernelKind
+	// Acquisition selects NEI (default) or plain EI.
+	Acquisition Acquisition
+
+	BatchSize int // candidates sampled per iteration (paper: 3)
+	Bootstrap int // random configs before the model kicks in
+	// FantasySamples is the QMC sample count for the acquisition integral
+	// (per-sample fantasy incumbents).
+	FantasySamples int
 	// CandidatePool is the number of Sobol candidate points scored per
 	// suggestion round.
 	CandidatePool int
@@ -70,60 +103,70 @@ type Config struct {
 	// NoiseVar is the fixed observation-noise variance (standardized
 	// units) of the GP surrogates.
 	NoiseVar float64
-	// Acquisition selects NEI (default) or plain EI.
-	Acquisition Acquisition
 	// DisableAnomalyDetection turns off outlier pruning (AquaLite).
 	DisableAnomalyDetection bool
-	// SlidingWindow keeps only the most recent N observations when
-	// refitting (0 = keep all); used by incremental retraining.
-	SlidingWindow int
+
+	// Window keeps only the most recent N observations (0 = keep all);
+	// older points are evicted from the surrogates by rank-1 downdates.
+	Window int
 	// ChangeBurst: if this many consecutive recent observations are all
 	// anomalous, the engine declares a behaviour change and drops history
 	// older than the burst (incremental retraining, §5.3).
 	ChangeBurst int
-	// HyperfitEvery refits GP hyperparameters every N observations.
-	HyperfitEvery int
-	Seed          int64
+	// RefitEveryK refits GP hyperparameters (a full refactorization) every
+	// K window updates — i.e. every K Observe batches. 0 picks the default
+	// ceil(5/BatchSize), reproducing the historical every-5-observations
+	// cadence.
+	RefitEveryK int
+
+	// DisableKernelCache turns off train-kernel matrix reuse in the NEI
+	// incumbent path (kernel values are then re-evaluated per Suggest).
+	DisableKernelCache bool
+	// DisableIncremental forces a full surrogate rebuild on every Observe
+	// (the pre-incremental behaviour, kept for ablation and debugging).
+	DisableIncremental bool
+
+	Seed int64
 }
 
-func (c Config) withDefaults() Config {
-	if c.BatchSize <= 0 {
-		c.BatchSize = 3
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 3
 	}
-	if c.Bootstrap <= 0 {
-		c.Bootstrap = 5
+	if o.Bootstrap <= 0 {
+		o.Bootstrap = 5
 	}
-	if c.MCSamples <= 0 {
-		c.MCSamples = 128
+	if o.FantasySamples <= 0 {
+		o.FantasySamples = 128
 	}
-	if c.CandidatePool <= 0 {
-		c.CandidatePool = 128
+	if o.CandidatePool <= 0 {
+		o.CandidatePool = 128
 	}
-	if c.FeasibilityFloor <= 0 {
-		c.FeasibilityFloor = 0.25
+	if o.FeasibilityFloor <= 0 {
+		o.FeasibilityFloor = 0.25
 	}
-	if c.AnomalyZ <= 0 {
+	if o.AnomalyZ <= 0 {
 		// Wider than the paper's 95% interval: the screen rejects points
 		// before they enter the fit, so a tight gate would also discard
 		// genuinely surprising (good) discoveries. Interference outliers
 		// in FaaS are multiples of the signal and still exceed this.
-		c.AnomalyZ = 3.5
+		o.AnomalyZ = 3.5
 	}
-	if c.NoiseVar <= 0 {
-		c.NoiseVar = 0.01
+	if o.NoiseVar <= 0 {
+		o.NoiseVar = 0.01
 	}
-	if c.ChangeBurst <= 0 {
-		c.ChangeBurst = 6
+	if o.ChangeBurst <= 0 {
+		o.ChangeBurst = 6
 	}
-	if c.HyperfitEvery <= 0 {
-		c.HyperfitEvery = 5
+	if o.RefitEveryK <= 0 {
+		o.RefitEveryK = (5 + o.BatchSize - 1) / o.BatchSize
 	}
-	return c
+	return o
 }
 
 // Engine is the customized BO optimizer.
 type Engine struct {
-	cfg Config
+	cfg Options
 	rng *stats.RNG
 
 	obs       []Observation
@@ -132,27 +175,32 @@ type Engine struct {
 	costGP *gp.GP
 	latGP  *gp.GP
 	fitted bool
-	// Robust scales of the in-sample residuals, refreshed on refit.
+	// synced reports that the GPs' windows mirror the engine's clean
+	// observation set, so incremental updates are valid.
+	synced bool
+	// Robust scales of the leave-one-out residuals, refreshed on refit.
 	costResidScale float64
 	latResidScale  float64
 
 	changeEvents int
-	sinceHyper   int
+	sinceRefit   int // window updates since the last hyperparameter refit
 
 	tracer  telemetry.Tracer
 	iter    int     // Observe calls, the telemetry iteration index
 	lastAcq float64 // acquisition value of the last batch's first slot
 }
 
-// New returns an engine for the given configuration.
-func New(cfg Config) *Engine {
-	cfg = cfg.withDefaults()
-	if cfg.Dim <= 0 {
+// New returns an engine for the given options.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	if opts.Dim <= 0 {
 		panic("bo: Dim must be positive")
 	}
-	e := &Engine{cfg: cfg, rng: stats.NewRNG(cfg.Seed), tracer: telemetry.Nop{}}
-	e.costGP = gp.New(gp.NewMatern52(cfg.Dim), cfg.NoiseVar)
-	e.latGP = gp.New(gp.NewMatern52(cfg.Dim), cfg.NoiseVar)
+	e := &Engine{cfg: opts, rng: stats.NewRNG(opts.Seed), tracer: telemetry.Nop{}}
+	e.costGP = gp.New(opts.Kernel.build(opts.Dim), opts.NoiseVar)
+	e.latGP = gp.New(opts.Kernel.build(opts.Dim), opts.NoiseVar)
+	e.costGP.SetFullRefit(opts.DisableIncremental)
+	e.latGP.SetFullRefit(opts.DisableIncremental)
 	return e
 }
 
@@ -160,8 +208,8 @@ func New(cfg Config) *Engine {
 // per Observe call. A nil tracer restores the no-op default.
 func (e *Engine) SetTracer(t telemetry.Tracer) { e.tracer = telemetry.OrNop(t) }
 
-// Config returns the engine configuration (after defaulting).
-func (e *Engine) Config() Config { return e.cfg }
+// Options returns the engine options (after defaulting).
+func (e *Engine) Options() Options { return e.cfg }
 
 // NumObservations returns the number of recorded observations.
 func (e *Engine) NumObservations() int { return len(e.obs) }
@@ -185,7 +233,7 @@ func (e *Engine) ChangeEvents() int { return e.changeEvents }
 // the configured acquisition greedily per batch slot.
 func (e *Engine) Suggest() [][]float64 {
 	q := e.cfg.BatchSize
-	if len(e.cleanObservations()) < e.cfg.Bootstrap || !e.fitted {
+	if e.countClean() < e.cfg.Bootstrap || !e.fitted {
 		batch := e.randomBatch(q)
 		e.traceDecision(batch, true, 0)
 		return batch
@@ -200,9 +248,11 @@ func (e *Engine) Suggest() [][]float64 {
 // the posterior view behind the first (acquisition-maximizing) pick — cost
 // and latency mean with their uncertainty bands, feasibility probability —
 // plus the batch's provenance (bootstrap vs model-driven, candidate-pool
-// size after QoS pruning). Posterior reads are pure (no RNG draws), so
-// tracing never perturbs a same-seed run; the point's time coordinate is
-// the iteration index, matching bo.iteration.
+// size after QoS pruning) and the engine's update schedule (window size,
+// hyperparameter refit cadence) so audits can verify the incremental
+// engine's behaviour. Posterior reads are pure (no RNG draws), so tracing
+// never perturbs a same-seed run; the point's time coordinate is the
+// iteration index, matching bo.iteration.
 func (e *Engine) traceDecision(batch [][]float64, bootstrap bool, candidates int) {
 	if !e.tracer.Enabled() || len(batch) == 0 {
 		return
@@ -212,6 +262,8 @@ func (e *Engine) traceDecision(batch [][]float64, bootstrap bool, candidates int
 		"candidates":   float64(candidates),
 		"observations": float64(len(e.obs)),
 		"qos":          e.cfg.QoS,
+		"window":       float64(e.cfg.Window),
+		"refit_every":  float64(e.cfg.RefitEveryK),
 	}
 	if bootstrap {
 		f["bootstrap"] = 1
@@ -253,13 +305,25 @@ func (e *Engine) randomBatch(q int) [][]float64 {
 	return out
 }
 
+// candidate carries one pool point together with its latency posterior —
+// computed once and reused by the QoS filter, the acquisition and the
+// fantasy sampling (the cross-kernel work per candidate happens exactly
+// once per Suggest).
+type candidate struct {
+	x        []float64
+	lm, lsd  float64
+	cm, csd  float64
+	feasible float64
+}
+
 // candidatePool generates scrambled Sobol candidates plus local
 // perturbations of the incumbent (coordinate moves around the best
 // feasible point, which matter increasingly in higher dimensions), and
 // applies the proactive QoS filter: candidates unlikely to meet the
 // constraint are pruned before acquisition scoring (unless that would
-// empty the pool).
-func (e *Engine) candidatePool() [][]float64 {
+// empty the pool). Each surviving candidate keeps its latency posterior
+// for reuse in selectBatch.
+func (e *Engine) candidatePool() []candidate {
 	n := e.cfg.CandidatePool
 	if byDim := 32 * e.cfg.Dim; byDim > n {
 		n = byDim
@@ -280,14 +344,19 @@ func (e *Engine) candidatePool() [][]float64 {
 			}
 		}
 	}
-	var kept [][]float64
-	for _, x := range raw {
-		if e.FeasibilityProbability(x) >= e.cfg.FeasibilityFloor {
-			kept = append(kept, x)
+	all := make([]candidate, len(raw))
+	kept := make([]candidate, 0, len(raw))
+	for i, x := range raw {
+		lm, lv := e.latGP.Posterior(x)
+		lsd := math.Sqrt(lv + 1e-12)
+		feas := stats.NormalCDF((e.cfg.QoS - lm) / lsd)
+		all[i] = candidate{x: x, lm: lm, lsd: lsd, feasible: feas}
+		if feas >= e.cfg.FeasibilityFloor {
+			kept = append(kept, all[i])
 		}
 	}
 	if len(kept) == 0 {
-		return raw
+		return all
 	}
 	return kept
 }
@@ -307,9 +376,20 @@ func (e *Engine) CostPosterior(x []float64) (mean, variance float64) {
 	return e.costGP.Posterior(x)
 }
 
+// countClean returns the number of observations not flagged as anomalies.
+func (e *Engine) countClean() int {
+	n := 0
+	for _, a := range e.anomalous {
+		if !a {
+			n++
+		}
+	}
+	return n
+}
+
 // cleanObservations returns the observations not flagged as anomalies.
 func (e *Engine) cleanObservations() []Observation {
-	var out []Observation
+	out := make([]Observation, 0, len(e.obs))
 	for i, o := range e.obs {
 		if !e.anomalous[i] {
 			out = append(out, o)
@@ -319,46 +399,59 @@ func (e *Engine) cleanObservations() []Observation {
 }
 
 // selectBatch greedily picks q candidates maximizing the acquisition with
-// per-sample fantasy bookkeeping for pending selections.
-func (e *Engine) selectBatch(cands [][]float64, q int) [][]float64 {
-	S := e.cfg.MCSamples
+// per-sample fantasy bookkeeping for pending selections. The fantasy
+// evaluation is batched: every candidate's QMC cost/feasibility samples are
+// materialized in one pass over the shared draws, so the greedy slot loop
+// (and the fantasy incumbent updates) only compare precomputed values
+// instead of re-deriving them per slot.
+func (e *Engine) selectBatch(cands []candidate, q int) [][]float64 {
+	S := e.cfg.FantasySamples
 	// Per-sample incumbent best over observed points (feasible preferred).
 	best := e.sampleIncumbents(S)
 
-	type cachedPosterior struct {
-		cm, cv, lm, lv float64
-	}
-	caches := make([]cachedPosterior, len(cands))
-	for i, x := range cands {
-		cm, cv := e.costGP.Posterior(x)
-		lm, lv := e.latGP.Posterior(x)
-		caches[i] = cachedPosterior{cm, math.Sqrt(cv + 1e-12), lm, math.Sqrt(lv + 1e-12)}
-	}
 	// QMC normal draws shared across candidates: dims (cost, latency).
 	sob := qmc.NewScrambledSobol(2, e.rng.Split())
 	draws := sob.NormalSample(S)
+
+	nei := e.cfg.Acquisition != EI
+	// Batched fantasy samples, one pass per candidate.
+	costS := make([][]float64, len(cands))
+	feasS := make([][]bool, len(cands))
+	for i := range cands {
+		cm, cv := e.costGP.Posterior(cands[i].x)
+		cands[i].cm = cm
+		cands[i].csd = math.Sqrt(cv + 1e-12)
+		if !nei {
+			continue
+		}
+		cs := make([]float64, S)
+		fs := make([]bool, S)
+		for s := 0; s < S; s++ {
+			cs[s] = cands[i].cm + cands[i].csd*draws[s][0]
+			fs[s] = cands[i].lm+cands[i].lsd*draws[s][1] <= e.cfg.QoS
+		}
+		costS[i], feasS[i] = cs, fs
+	}
 
 	var batch [][]float64
 	taken := make([]bool, len(cands))
 	for slot := 0; slot < q; slot++ {
 		bestIdx, bestGain := -1, -math.Inf(1)
-		for i, x := range cands {
+		for i := range cands {
 			if taken[i] {
 				continue
 			}
-			c := caches[i]
 			var gain float64
-			switch e.cfg.Acquisition {
-			case EI:
-				gain = e.analyticEI(c.cm, c.cv, c.lm, c.lv, best)
-			default: // NEI
+			if !nei {
+				c := cands[i]
+				gain = e.analyticEI(c.cm, c.csd, c.lm, c.lsd, best)
+			} else {
+				cs, fs := costS[i], feasS[i]
 				for s := 0; s < S; s++ {
-					costS := c.cm + c.cv*draws[s][0]
-					latS := c.lm + c.lv*draws[s][1]
-					if latS > e.cfg.QoS {
+					if !fs[s] {
 						continue
 					}
-					if imp := best[s] - costS; imp > 0 {
+					if imp := best[s] - cs[s]; imp > 0 {
 						gain += imp
 					}
 				}
@@ -367,7 +460,6 @@ func (e *Engine) selectBatch(cands [][]float64, q int) [][]float64 {
 			if gain > bestGain {
 				bestGain, bestIdx = gain, i
 			}
-			_ = x
 		}
 		if bestIdx < 0 {
 			break
@@ -376,14 +468,25 @@ func (e *Engine) selectBatch(cands [][]float64, q int) [][]float64 {
 			e.lastAcq = bestGain
 		}
 		taken[bestIdx] = true
-		batch = append(batch, cands[bestIdx])
+		batch = append(batch, cands[bestIdx].x)
 		// Fantasy update: pending point lowers the per-sample incumbent.
-		c := caches[bestIdx]
-		for s := 0; s < S; s++ {
-			costS := c.cm + c.cv*draws[s][0]
-			latS := c.lm + c.lv*draws[s][1]
-			if latS <= e.cfg.QoS && costS < best[s] {
-				best[s] = costS
+		// This also runs under EI (best[0] is the analytic incumbent), so
+		// later slots improve over pending picks, not just observed points.
+		if nei {
+			cs, fs := costS[bestIdx], feasS[bestIdx]
+			for s := 0; s < S; s++ {
+				if fs[s] && cs[s] < best[s] {
+					best[s] = cs[s]
+				}
+			}
+		} else {
+			c := cands[bestIdx]
+			for s := 0; s < S; s++ {
+				costS := c.cm + c.csd*draws[s][0]
+				latS := c.lm + c.lsd*draws[s][1]
+				if latS <= e.cfg.QoS && costS < best[s] {
+					best[s] = costS
+				}
 			}
 		}
 	}
@@ -416,7 +519,9 @@ func (e *Engine) analyticEI(cm, csd, lm, lsd float64, best []float64) float64 {
 // the observed points and returns, per sample, the minimum cost among
 // feasible points (falling back to overall minimum when no sampled point is
 // feasible). Under EI it returns the deterministic observed feasible best
-// replicated once.
+// replicated once. The joint posterior over window points reuses the GPs'
+// cached train-kernel matrices — no kernel re-evaluation — unless the cache
+// is disabled.
 func (e *Engine) sampleIncumbents(S int) []float64 {
 	clean := e.cleanObservations()
 	if e.cfg.Acquisition == EI {
@@ -439,29 +544,33 @@ func (e *Engine) sampleIncumbents(S int) []float64 {
 		}
 		return out
 	}
-	xs := make([][]float64, len(clean))
-	for i, o := range clean {
-		xs[i] = o.X
+	// Sobol dimensionality is bounded; for larger histories use the most
+	// recent points for the joint draw (older ones rarely hold the
+	// incumbent under a converging optimizer).
+	m := len(clean)
+	if m > qmc.MaxDim {
+		m = qmc.MaxDim
 	}
-	n := len(xs)
-	dims := n
-	if dims > qmc.MaxDim {
-		// Sobol dimensionality is bounded; for larger histories use the
-		// most recent points for the joint draw (older ones rarely hold
-		// the incumbent under a converging optimizer) — fall back to the
-		// last MaxDim observations.
-		xs = xs[n-qmc.MaxDim:]
-		clean = clean[n-qmc.MaxDim:]
-		dims = qmc.MaxDim
+	sobC := qmc.NewScrambledSobol(m, e.rng.Split())
+	sobL := qmc.NewScrambledSobol(m, e.rng.Split())
+	var costDraws, latDraws [][]float64
+	if e.cfg.DisableKernelCache || !e.synced {
+		xs := make([][]float64, 0, m)
+		for _, o := range clean[len(clean)-m:] {
+			xs = append(xs, o.X)
+		}
+		costDraws = e.costGP.SampleJoint(xs, sobC.NormalSample(S))
+		latDraws = e.latGP.SampleJoint(xs, sobL.NormalSample(S))
+	} else {
+		// The GP windows mirror the clean set, so the most recent m window
+		// points are exactly clean[len-m:] — served from the kernel cache.
+		costDraws = e.costGP.SampleJointRecent(m, sobC.NormalSample(S))
+		latDraws = e.latGP.SampleJointRecent(m, sobL.NormalSample(S))
 	}
-	sobC := qmc.NewScrambledSobol(dims, e.rng.Split())
-	sobL := qmc.NewScrambledSobol(dims, e.rng.Split())
-	costDraws := e.costGP.SampleJoint(xs, sobC.NormalSample(S))
-	latDraws := e.latGP.SampleJoint(xs, sobL.NormalSample(S))
 	best := make([]float64, S)
 	for s := 0; s < S; s++ {
 		bf, bAny := math.Inf(1), math.Inf(1)
-		for i := range xs {
+		for i := 0; i < m; i++ {
 			c := costDraws[s][i]
 			if c < bAny {
 				bAny = c
@@ -495,16 +604,23 @@ func (e *Engine) Observe(batch []Observation) {
 		e.obs = append(e.obs, o)
 		e.anomalous = append(e.anomalous, flags[i])
 	}
-	e.sinceHyper += len(batch)
-	if e.cfg.SlidingWindow > 0 && len(e.obs) > e.cfg.SlidingWindow {
-		drop := len(e.obs) - e.cfg.SlidingWindow
+	droppedClean := 0
+	if e.cfg.Window > 0 && len(e.obs) > e.cfg.Window {
+		drop := len(e.obs) - e.cfg.Window
+		for i := 0; i < drop; i++ {
+			if !e.anomalous[i] {
+				droppedClean++
+			}
+		}
 		e.obs = e.obs[drop:]
 		e.anomalous = e.anomalous[drop:]
 	}
 	if !e.cfg.DisableAnomalyDetection {
-		e.maybeHandleChange()
+		if e.maybeHandleChange() {
+			droppedClean = 0
+		}
 	}
-	e.refit()
+	e.refit(batch, flags, droppedClean)
 	e.iter++
 	if e.tracer.Enabled() {
 		pruned := 0
@@ -544,8 +660,8 @@ func (e *Engine) incumbentLatency() float64 {
 
 // isAnomalous screens one observation against the current surrogates: the
 // yardstick combines the posterior variance at the point with the robust
-// (MAD) scale of the current in-sample residuals, so ordinary noise and
-// model misfit set the bar and only irregular outliers exceed it.
+// (MAD) scale of the leave-one-out residuals, so ordinary noise and model
+// misfit set the bar and only irregular outliers exceed it.
 func (e *Engine) isAnomalous(o Observation) bool {
 	cm, cv := e.costGP.Posterior(o.X)
 	lm, lv := e.latGP.Posterior(o.X)
@@ -554,13 +670,75 @@ func (e *Engine) isAnomalous(o Observation) bool {
 	return math.Abs(o.Cost-cm) > cThresh || math.Abs(o.Latency-lm) > lThresh
 }
 
-// refit re-trains both GPs on the clean observations.
-func (e *Engine) refit() {
+// refit brings the surrogates up to date with the clean observation set.
+// In steady state this is incremental — rank-1 window updates for the new
+// batch (and evictions), O(n²) per point — with full refactorizations only
+// at window construction, after behaviour-change resets, and on the
+// refit-every-k hyperparameter schedule.
+func (e *Engine) refit(batch []Observation, flags []bool, droppedClean int) {
+	// The schedule counter ticks on every window update, including ones
+	// where the model is not yet fittable — the first hyperparameter refit
+	// then lands exactly where the historical every-5-observations cadence
+	// put it, for any batch size.
+	e.sinceRefit++
 	clean := e.cleanObservations()
 	if len(clean) < 2 {
 		e.fitted = false
+		e.synced = false
 		return
 	}
+	if e.cfg.DisableIncremental || !e.synced {
+		if !e.rebuild(clean) {
+			return
+		}
+	} else {
+		for i := 0; i < droppedClean; i++ {
+			e.costGP.Forget()
+			e.latGP.Forget()
+		}
+		ok := true
+		for i, o := range batch {
+			if flags[i] {
+				continue
+			}
+			if e.costGP.Observe(o.X, o.Cost) != nil || e.latGP.Observe(o.X, o.Latency) != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok && !e.rebuild(clean) {
+			return
+		}
+	}
+	if e.sinceRefit >= e.cfg.RefitEveryK {
+		e.costGP.FitHyperparameters(e.rng, 2)
+		e.latGP.FitHyperparameters(e.rng, 2)
+		e.sinceRefit = 0
+	}
+	e.fitted = true
+	e.synced = true
+	// Refresh the robust residual scales used by anomaly screening.
+	// Leave-one-out residuals are required here: in-sample residuals of
+	// a near-interpolating GP are ~0 and would flag everything. The
+	// closed-form identities provide them from the existing factor.
+	if e.cfg.DisableAnomalyDetection {
+		return
+	}
+	costMeans, _ := e.costGP.LeaveOneOutAll()
+	latMeans, _ := e.latGP.LeaveOneOutAll()
+	costRes := make([]float64, 0, len(clean))
+	latRes := make([]float64, 0, len(clean))
+	for i, o := range clean {
+		costRes = append(costRes, o.Cost-costMeans[i])
+		latRes = append(latRes, o.Latency-latMeans[i])
+	}
+	e.costResidScale = madScale(costRes)
+	e.latResidScale = madScale(latRes)
+}
+
+// rebuild fully reconditions both GPs on the clean set (window
+// construction). Reports success; on failure the engine is unfitted.
+func (e *Engine) rebuild(clean []Observation) bool {
 	xs := make([][]float64, len(clean))
 	costs := make([]float64, len(clean))
 	lats := make([]float64, len(clean))
@@ -569,36 +747,12 @@ func (e *Engine) refit() {
 		costs[i] = o.Cost
 		lats[i] = o.Latency
 	}
-	if err := e.costGP.Fit(xs, costs); err != nil {
+	if e.costGP.Fit(xs, costs) != nil || e.latGP.Fit(xs, lats) != nil {
 		e.fitted = false
-		return
+		e.synced = false
+		return false
 	}
-	if err := e.latGP.Fit(xs, lats); err != nil {
-		e.fitted = false
-		return
-	}
-	if e.sinceHyper >= e.cfg.HyperfitEvery {
-		e.costGP.FitHyperparameters(e.rng, 2)
-		e.latGP.FitHyperparameters(e.rng, 2)
-		e.sinceHyper = 0
-	}
-	e.fitted = true
-	// Refresh the robust residual scales used by anomaly screening.
-	// Leave-one-out residuals are required here: in-sample residuals of
-	// a near-interpolating GP are ~0 and would flag everything.
-	costRes := make([]float64, 0, len(clean))
-	latRes := make([]float64, 0, len(clean))
-	for i, o := range clean {
-		cm, _, err1 := e.costGP.LeaveOneOut(i)
-		lm, _, err2 := e.latGP.LeaveOneOut(i)
-		if err1 != nil || err2 != nil {
-			continue
-		}
-		costRes = append(costRes, o.Cost-cm)
-		latRes = append(latRes, o.Latency-lm)
-	}
-	e.costResidScale = madScale(costRes)
-	e.latResidScale = madScale(latRes)
+	return true
 }
 
 // madScale returns a robust standard-deviation estimate
@@ -619,20 +773,23 @@ func madScale(resid []float64) float64 {
 // ChangeBurst observations are all anomalous, the workload's behaviour has
 // likely changed (new inputs, function update); the engine drops older
 // history and un-flags the burst so the model re-learns from fresh samples.
-func (e *Engine) maybeHandleChange() {
+// It reports whether a reset occurred (the surrogates must then be rebuilt).
+func (e *Engine) maybeHandleChange() bool {
 	k := e.cfg.ChangeBurst
 	if len(e.obs) < k {
-		return
+		return false
 	}
 	for i := len(e.obs) - k; i < len(e.obs); i++ {
 		if !e.anomalous[i] {
-			return
+			return false
 		}
 	}
 	e.obs = e.obs[len(e.obs)-k:]
 	e.anomalous = make([]bool, len(e.obs))
 	e.changeEvents++
 	e.fitted = false
+	e.synced = false
+	return true
 }
 
 // BestFeasible returns the non-anomalous observation with the lowest cost

@@ -76,7 +76,7 @@ func runOptimizer(t *testing.T, opt Optimizer, p *quadProblem, iters int) float6
 
 func TestEngineConvergesNearOptimum(t *testing.T) {
 	p := &quadProblem{qos: 1.6, noise: 1, rng: stats.NewRNG(1)}
-	opt := New(Config{Dim: 2, QoS: p.qos, Seed: 2})
+	opt := New(Options{Dim: 2, QoS: p.qos, Seed: 2})
 	got := runOptimizer(t, opt, p, 12) // 12 iterations x batch 3 = 36 samples
 	optimal := p.optimum()
 	if got > optimal*1.25 {
@@ -89,7 +89,7 @@ func TestEngineBeatsRandomOnBudget(t *testing.T) {
 	var engWins int
 	for s := int64(0); s < int64(trials); s++ {
 		p1 := &quadProblem{qos: 1.6, noise: 1, rng: stats.NewRNG(100 + s)}
-		eng := New(Config{Dim: 2, QoS: p1.qos, Seed: 200 + s})
+		eng := New(Options{Dim: 2, QoS: p1.qos, Seed: 200 + s})
 		engCost := runOptimizer(t, eng, p1, 8)
 
 		p2 := &quadProblem{qos: 1.6, noise: 1, rng: stats.NewRNG(100 + s)}
@@ -112,11 +112,11 @@ func TestEngineRobustToOutliers(t *testing.T) {
 	var withDet, without float64
 	for s := int64(0); s < int64(trials); s++ {
 		p1 := &quadProblem{qos: 1.6, noise: 1, outlierRate: 0.2, rng: stats.NewRNG(400 + s)}
-		e1 := New(Config{Dim: 2, QoS: p1.qos, Seed: 500 + s})
+		e1 := New(Options{Dim: 2, QoS: p1.qos, Seed: 500 + s})
 		withDet += runOptimizer(t, e1, p1, 12)
 
 		p2 := &quadProblem{qos: 1.6, noise: 1, outlierRate: 0.2, rng: stats.NewRNG(400 + s)}
-		e2 := New(Config{Dim: 2, QoS: p2.qos, Seed: 500 + s, DisableAnomalyDetection: true, Acquisition: EI})
+		e2 := New(Options{Dim: 2, QoS: p2.qos, Seed: 500 + s, DisableAnomalyDetection: true, Acquisition: EI})
 		without += runOptimizer(t, e2, p2, 12)
 	}
 	optimal := (&quadProblem{qos: 1.6, rng: stats.NewRNG(1)}).optimum()
@@ -127,7 +127,7 @@ func TestEngineRobustToOutliers(t *testing.T) {
 
 func TestAnomalyDetectionFlagsInjectedOutlier(t *testing.T) {
 	p := &quadProblem{qos: 1.6, noise: 0.5, rng: stats.NewRNG(7)}
-	e := New(Config{Dim: 2, QoS: p.qos, Seed: 8})
+	e := New(Options{Dim: 2, QoS: p.qos, Seed: 8})
 	// Feed clean observations.
 	for i := 0; i < 6; i++ {
 		batch := e.Suggest()
@@ -148,7 +148,7 @@ func TestAnomalyDetectionFlagsInjectedOutlier(t *testing.T) {
 }
 
 func TestChangeDetectionResetsHistory(t *testing.T) {
-	e := New(Config{Dim: 1, QoS: 10, Seed: 9, ChangeBurst: 4, Bootstrap: 3})
+	e := New(Options{Dim: 1, QoS: 10, Seed: 9, ChangeBurst: 4, Bootstrap: 3})
 	rng := stats.NewRNG(10)
 	// Phase 1: smooth function.
 	for i := 0; i < 8; i++ {
@@ -179,7 +179,7 @@ func TestChangeDetectionResetsHistory(t *testing.T) {
 }
 
 func TestSlidingWindow(t *testing.T) {
-	e := New(Config{Dim: 1, QoS: 5, Seed: 11, SlidingWindow: 10, DisableAnomalyDetection: true})
+	e := New(Options{Dim: 1, QoS: 5, Seed: 11, Window: 10, DisableAnomalyDetection: true})
 	for i := 0; i < 30; i++ {
 		x := []float64{float64(i%10) / 10}
 		e.Observe([]Observation{{X: x, Cost: 1, Latency: 1}})
@@ -190,7 +190,7 @@ func TestSlidingWindow(t *testing.T) {
 }
 
 func TestSuggestBatchSize(t *testing.T) {
-	e := New(Config{Dim: 3, QoS: 1, Seed: 12})
+	e := New(Options{Dim: 3, QoS: 1, Seed: 12})
 	batch := e.Suggest()
 	if len(batch) != 3 {
 		t.Fatalf("default batch size = %d, want 3", len(batch))
@@ -209,7 +209,7 @@ func TestSuggestBatchSize(t *testing.T) {
 
 func TestFeasibilityProbabilityOrdering(t *testing.T) {
 	p := &quadProblem{qos: 1.6, noise: 0, rng: stats.NewRNG(13)}
-	e := New(Config{Dim: 2, QoS: p.qos, Seed: 14})
+	e := New(Options{Dim: 2, QoS: p.qos, Seed: 14})
 	for i := 0; i < 10; i++ {
 		batch := e.Suggest()
 		obs := make([]Observation, len(batch))
@@ -228,7 +228,7 @@ func TestFeasibilityProbabilityOrdering(t *testing.T) {
 }
 
 func TestBestFeasibleFallback(t *testing.T) {
-	e := New(Config{Dim: 1, QoS: 1, Seed: 15})
+	e := New(Options{Dim: 1, QoS: 1, Seed: 15})
 	e.Observe([]Observation{{X: []float64{0.5}, Cost: 2, Latency: 5}}) // infeasible
 	if _, _, ok := e.BestFeasible(); ok {
 		t.Fatal("BestFeasible should report no feasible point")
@@ -272,13 +272,21 @@ func TestEngineBadDimPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(Config{})
+	New(Options{})
 }
 
-func TestConfigDefaults(t *testing.T) {
-	e := New(Config{Dim: 1})
-	cfg := e.Config()
-	if cfg.BatchSize != 3 || cfg.MCSamples != 128 || cfg.AnomalyZ != 3.5 {
+func TestOptionsDefaults(t *testing.T) {
+	e := New(Options{Dim: 1})
+	cfg := e.Options()
+	if cfg.BatchSize != 3 || cfg.FantasySamples != 128 || cfg.AnomalyZ != 3.5 {
 		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	// RefitEveryK defaults to ceil(5/BatchSize): the historical
+	// every-5-observations cadence expressed in window updates.
+	if cfg.RefitEveryK != 2 {
+		t.Fatalf("RefitEveryK default = %d, want 2", cfg.RefitEveryK)
+	}
+	if q1 := New(Options{Dim: 1, BatchSize: 1}).Options(); q1.RefitEveryK != 5 {
+		t.Fatalf("RefitEveryK (q=1) = %d, want 5", q1.RefitEveryK)
 	}
 }

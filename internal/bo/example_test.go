@@ -10,7 +10,7 @@ import (
 // constrained problem: minimize cost = x subject to latency = 1.5 - x
 // staying below the QoS of 1.0 (so the optimum sits at x ≈ 0.5).
 func ExampleEngine() {
-	eng := bo.New(bo.Config{Dim: 1, QoS: 1.0, Seed: 7})
+	eng := bo.New(bo.Options{Dim: 1, QoS: 1.0, Seed: 7})
 	for iter := 0; iter < 12; iter++ {
 		batch := eng.Suggest()
 		obs := make([]bo.Observation, len(batch))

@@ -79,6 +79,11 @@ type Config struct {
 	// nil a private registry is created (latency percentiles are always
 	// computed from it).
 	Registry *telemetry.Registry
+	// Chosen, when non-nil, injects pre-searched per-app resource
+	// configurations and skips the phase-1 search entirely. Harnesses that
+	// fan the per-app searches out across workers (SearchSeeds +
+	// SearchComponent) hand the merged result back through this field.
+	Chosen map[string]map[string]faas.ResourceConfig
 	// Chaos is an optional fault scenario armed on the live cluster (an
 	// empty scenario injects nothing).
 	Chaos chaos.Scenario
@@ -283,6 +288,54 @@ func (r Result) MemTime() float64 {
 	return s
 }
 
+// SearchSeeds pre-draws the (profiler, manager) seed pair each component's
+// phase-1 search consumes, in component order from the run's root RNG.
+// Fanning the searches out across workers with these pinned pairs
+// reproduces the serial phase byte-for-byte.
+func SearchSeeds(cfg Config) [][2]int64 {
+	rng := stats.NewRNG(cfg.Seed)
+	out := make([][2]int64, len(cfg.Components))
+	for i := range out {
+		out[i] = [2]int64{rng.Int63(), rng.Int63()}
+	}
+	return out
+}
+
+// SearchComponent runs the phase-1 resource search for component i and
+// returns its chosen per-function configurations. It is self-contained —
+// profiler, space and manager are private to the call — so independent
+// components may search concurrently as long as each gets its SearchSeeds
+// pair and its own tracer.
+func SearchComponent(cfg Config, i int, seeds [2]int64, tracer telemetry.Tracer) map[string]faas.ResourceConfig {
+	a := cfg.Components[i].App
+	if cfg.ManagerFactory == nil {
+		return a.Defaults
+	}
+	tracer = telemetry.OrNop(tracer)
+	space := resource.NewSpace(a)
+	prof := resource.NewProfiler(a, seeds[0])
+	prof.Noise = cfg.ProfileNoise
+	prof.ColdStartFraction = cfg.ColdStartFraction
+	m := cfg.ManagerFactory(space, prof, a.QoS, seeds[1])
+	if bm, ok := m.(interface{ Engine() *bo.Engine }); ok {
+		if be := bm.Engine(); be != nil {
+			be.SetTracer(tracer)
+		}
+	}
+	if st, ok := m.(interface{ SetTracer(telemetry.Tracer) }); ok {
+		st.SetTracer(tracer)
+	}
+	budget := cfg.SearchBudget
+	if budget <= 0 {
+		budget = 30
+	}
+	resource.Search(m, budget)
+	if b, _, ok := m.Best(); ok {
+		return b
+	}
+	return a.Defaults
+}
+
 // Run executes the end-to-end experiment.
 func Run(cfg Config) (Result, error) {
 	if len(cfg.Components) == 0 {
@@ -302,42 +355,21 @@ func Run(cfg Config) (Result, error) {
 			cfg.ManagerFactory = c.Manager
 		}
 	}
-	rng := stats.NewRNG(cfg.Seed)
 	tracer := telemetry.OrNop(cfg.Tracer)
 	reg := cfg.Registry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
 
-	// Phase 1: per-app resource search (offline profiling).
-	chosen := make(map[string]map[string]faas.ResourceConfig)
-	for _, comp := range cfg.Components {
-		a := comp.App
-		best := a.Defaults
-		if cfg.ManagerFactory != nil {
-			space := resource.NewSpace(a)
-			prof := resource.NewProfiler(a, rng.Int63())
-			prof.Noise = cfg.ProfileNoise
-			prof.ColdStartFraction = cfg.ColdStartFraction
-			m := cfg.ManagerFactory(space, prof, a.QoS, rng.Int63())
-			if bm, ok := m.(interface{ Engine() *bo.Engine }); ok {
-				if be := bm.Engine(); be != nil {
-					be.SetTracer(tracer)
-				}
-			}
-			if st, ok := m.(interface{ SetTracer(telemetry.Tracer) }); ok {
-				st.SetTracer(tracer)
-			}
-			budget := cfg.SearchBudget
-			if budget <= 0 {
-				budget = 30
-			}
-			resource.Search(m, budget)
-			if b, _, ok := m.Best(); ok {
-				best = b
-			}
+	// Phase 1: per-app resource search (offline profiling), unless the
+	// harness already ran it (fanned out) and injected the result.
+	chosen := cfg.Chosen
+	if chosen == nil {
+		seeds := SearchSeeds(cfg)
+		chosen = make(map[string]map[string]faas.ResourceConfig)
+		for i, comp := range cfg.Components {
+			chosen[comp.App.Name] = SearchComponent(cfg, i, seeds[i], tracer)
 		}
-		chosen[a.Name] = best
 	}
 
 	// Phase 2: live cluster, instrumented end to end.

@@ -68,7 +68,7 @@ func AblationBatchSize(s Scale) AblationBatchResult {
 					seed := s.Seed + int64(rep)*53
 					prof := resource.NewProfiler(a, seed)
 					prof.Noise = profileNoise
-					opt := bo.New(bo.Config{Dim: space.Dim(), QoS: a.QoS, Seed: seed, BatchSize: q})
+					opt := bo.New(bo.Options{Dim: space.Dim(), QoS: a.QoS, Seed: seed, BatchSize: q})
 					m := &resource.BOManager{Label: "aquatope", Space: space, Profiler: prof, Opt: opt}
 					rounds := 0
 					for m.Samples() < s.SearchBudget {

@@ -77,44 +77,102 @@ func runE2E(cfg core.Config) (e2eOutcome, error) {
 	}, nil
 }
 
+// fig17FullConfig and fig17RMOnlyConfig build the two system
+// configurations. Jobs construct them fresh inside their bodies per the
+// runner's no-shared-mutable-state contract.
+func fig17FullConfig(s Scale) core.Config {
+	return core.Config{
+		Components:     e2eComponents(s),
+		TrainMin:       s.TrainMin,
+		PoolFactory:    s.aquatopePoolFactory(false),
+		ManagerFactory: core.AquatopeManagerFactory(),
+		SearchBudget:   s.SearchBudget,
+		ProfileNoise:   profileNoise,
+		RuntimeNoise:   runtimeNoise,
+		Seed:           s.Seed,
+	}
+}
+
+func fig17RMOnlyConfig(s Scale) core.Config {
+	return core.Config{
+		Components:        e2eComponents(s),
+		TrainMin:          s.TrainMin,
+		PoolFactory:       core.KeepAlivePoolFactory(600),
+		ManagerFactory:    core.AquatopeManagerFactory(),
+		SearchBudget:      s.SearchBudget,
+		ProfileNoise:      profileNoise,
+		RuntimeNoise:      runtimeNoise,
+		ColdStartFraction: 0.5, // forced to balance cold and warm behaviour
+		Seed:              s.Seed,
+	}
+}
+
 // Fig17 compares the full Aquatope against a variant with only the
 // resource manager (provider keep-alive pool; profiling forced to average
-// over cold and warm behaviour). The two system runs are the replications;
-// the full system's spans and metrics flow through the replication context
-// into the Scale's collector/registry.
+// over cold and warm behaviour).
+//
+// The work is submitted in two batches so independent trajectories
+// actually fan out: first every per-app BO search of both systems (2×5
+// jobs — the sequential-trajectory part that used to serialize inside one
+// big replication), then the two live cluster runs with the searched
+// configurations injected. Seeds come from core.SearchSeeds and telemetry
+// merges in submission order, so the span stream, metric snapshot and
+// table stay byte-identical to the old monolithic two-job layout.
 func Fig17(s Scale) Fig17Result {
-	jobs := []runner.Job[e2eOutcome]{
+	type searched struct {
+		app string
+		cfg map[string]faas.ResourceConfig
+	}
+	n := len(e2eComponents(s))
+	var sjobs []runner.Job[searched]
+	for i := 0; i < n; i++ {
+		i := i
+		sjobs = append(sjobs, runner.Job[searched]{Cell: "full-search", Rep: i,
+			Run: func(ctx runner.Ctx) (searched, error) {
+				cfg := fig17FullConfig(s)
+				seeds := core.SearchSeeds(cfg)
+				return searched{cfg.Components[i].App.Name,
+					core.SearchComponent(cfg, i, seeds[i], ctx.Tracer)}, nil
+			}})
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		sjobs = append(sjobs, runner.Job[searched]{Cell: "rm-search", Rep: i,
+			Run: func(runner.Ctx) (searched, error) {
+				// The rm-only system's search spans were never recorded
+				// (its replication ran untraced), so keep its tracer off.
+				cfg := fig17RMOnlyConfig(s)
+				seeds := core.SearchSeeds(cfg)
+				return searched{cfg.Components[i].App.Name,
+					core.SearchComponent(cfg, i, seeds[i], nil)}, nil
+			}})
+	}
+	eng := s.engine("fig17")
+	found := runner.MustRun(eng, sjobs)
+	chosenFull := make(map[string]map[string]faas.ResourceConfig, n)
+	chosenRM := make(map[string]map[string]faas.ResourceConfig, n)
+	for i := 0; i < n; i++ {
+		chosenFull[found[i].app] = found[i].cfg
+		chosenRM[found[n+i].app] = found[n+i].cfg
+	}
+
+	ljobs := []runner.Job[e2eOutcome]{
 		{Cell: "full",
 			Run: func(ctx runner.Ctx) (e2eOutcome, error) {
-				return runE2E(core.Config{
-					Components:     e2eComponents(s),
-					TrainMin:       s.TrainMin,
-					PoolFactory:    s.aquatopePoolFactory(false),
-					ManagerFactory: core.AquatopeManagerFactory(),
-					SearchBudget:   s.SearchBudget,
-					ProfileNoise:   profileNoise,
-					RuntimeNoise:   runtimeNoise,
-					Tracer:         ctx.Tracer,
-					Registry:       ctx.Registry,
-					Seed:           s.Seed,
-				})
+				cfg := fig17FullConfig(s)
+				cfg.Chosen = chosenFull
+				cfg.Tracer = ctx.Tracer
+				cfg.Registry = ctx.Registry
+				return runE2E(cfg)
 			}},
 		{Cell: "rm-only",
 			Run: func(runner.Ctx) (e2eOutcome, error) {
-				return runE2E(core.Config{
-					Components:        e2eComponents(s),
-					TrainMin:          s.TrainMin,
-					PoolFactory:       core.KeepAlivePoolFactory(600),
-					ManagerFactory:    core.AquatopeManagerFactory(),
-					SearchBudget:      s.SearchBudget,
-					ProfileNoise:      profileNoise,
-					RuntimeNoise:      runtimeNoise,
-					ColdStartFraction: 0.5, // forced to balance cold and warm behaviour
-					Seed:              s.Seed,
-				})
+				cfg := fig17RMOnlyConfig(s)
+				cfg.Chosen = chosenRM
+				return runE2E(cfg)
 			}},
 	}
-	out := runner.MustRun(s.engine("fig17"), jobs)
+	out := runner.MustRun(eng, ljobs)
 	full, rmOnly := out[0], out[1]
 	return Fig17Result{
 		FullCPU: full.cpu, FullMem: full.mem,

@@ -190,8 +190,8 @@ func fig16Trajectory(s Scale, oracles map[float64]float64) Fig16Result {
 	prof := resource.NewProfiler(a, s.Seed)
 	prof.Noise = faas.Noise{GaussianStd: 0.1}
 
-	eng := bo.New(bo.Config{Dim: space.Dim(), QoS: a.QoS, Seed: s.Seed,
-		SlidingWindow: 40, ChangeBurst: 6, AnomalyZ: 2.5})
+	eng := bo.New(bo.Options{Dim: space.Dim(), QoS: a.QoS, Seed: s.Seed,
+		Window: 40, ChangeBurst: 6, AnomalyZ: 2.5})
 	evalProf := resource.NewProfiler(a, s.Seed+500)
 
 	totalSamples := 3 * s.SearchBudget

@@ -55,6 +55,64 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestFig17FanoutMatchesMonolithic pins the fan-out restructure: Fig17
+// submits every per-app BO search as its own job before the two live runs,
+// and the observable output must stay byte-identical to the old monolithic
+// layout — one traced full-system run and one untraced rm-only run, each
+// doing its own phase-1 search internally.
+func TestFig17FanoutMatchesMonolithic(t *testing.T) {
+	s := micro
+	s.Parallel = 4
+	col := telemetry.NewCollector()
+	reg := telemetry.NewRegistry()
+	s.Collector = col
+	s.Registry = reg
+	table := Fig17(s).Table()
+
+	refCol := telemetry.NewCollector()
+	refReg := telemetry.NewRegistry()
+	fullCfg := fig17FullConfig(micro)
+	fullCfg.Tracer = refCol
+	fullCfg.Registry = refReg
+	full, err := runE2E(fullCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmOnly, err := runE2E(fig17RMOnlyConfig(micro))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTable := Fig17Result{
+		FullCPU: full.cpu, FullMem: full.mem,
+		RMOnlyCPU: rmOnly.cpu, RMOnlyMem: rmOnly.mem,
+	}.Table()
+
+	if table != refTable {
+		t.Errorf("fanned-out table diverges from monolithic reference:\n%s\nvs\n%s", table, refTable)
+	}
+	var spans, refSpans, metrics, refMetrics bytes.Buffer
+	if err := col.WriteJSONL(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := refCol.WriteJSONL(&refSpans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(spans.Bytes(), refSpans.Bytes()) {
+		t.Errorf("fanned-out span stream diverges from monolithic reference (%d vs %d bytes)",
+			spans.Len(), refSpans.Len())
+	}
+	if err := reg.WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if err := refReg.WriteJSON(&refMetrics); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(metrics.Bytes(), refMetrics.Bytes()) {
+		t.Errorf("fanned-out metric snapshot diverges from monolithic reference:\n%s\nvs\n%s",
+			metrics.Bytes(), refMetrics.Bytes())
+	}
+}
+
 func TestRegistryLineup(t *testing.T) {
 	all := All()
 	if len(all) != 18 {

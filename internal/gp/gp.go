@@ -12,19 +12,49 @@ import (
 // noise, matching the paper's "fixed-noise GP models with Matérn(5/2)".
 // Targets are standardized internally; Posterior outputs are mapped back to
 // the original scale.
+//
+// The model is conditioned through an incremental sliding-window API:
+// Observe appends one observation with a rank-1 extension of the Cholesky
+// factor (O(n²)), Forget evicts the oldest with a rank-1 update of the
+// trailing block (O(n²)), and Fit remains as a thin rebuild wrapper used at
+// window construction and scheduled hyperparameter refits. The train-kernel
+// matrix is cached alongside the factor and reused by batch posteriors over
+// window points; both caches are invalidated only by hyperparameter changes
+// (FitHyperparameters, SetWindow rebuilds) — never by target updates, since
+// the kernel matrix depends only on the inputs.
 type GP struct {
 	Kernel Kernel
 	// Noise is the observation noise variance in standardized target
 	// units, added to the kernel diagonal.
 	Noise float64
 
+	window int // sliding-window capacity; 0 = unbounded
+
 	x     [][]float64
+	yRaw  []float64 // original-unit targets, window order
 	y     []float64 // standardized targets
 	yMean float64
 	yStd  float64
 
-	chol  *linalg.Matrix
-	alpha []float64
+	kmat   *linalg.Matrix // cached train kernel, no noise diagonal
+	chol   *linalg.Matrix // factor of kmat + Noise·I (+ jitter·I)
+	jitter float64        // diagonal jitter the factorization needed
+	alpha  []float64
+
+	// Scratch buffers so steady-state Observe/Forget cycles are
+	// allocation-free: cross-covariances, the evict rank-1 vector, and the
+	// triangular-solve intermediate of restandardize.
+	kbuf, vbuf, solveTmp []float64
+
+	fullRefit bool // true => Observe/Forget rebuild from scratch (ablation)
+}
+
+// growBuf returns buf resized to n, reusing its backing array when possible.
+func growBuf(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // New returns a GP with the given kernel and fixed noise variance.
@@ -35,45 +65,175 @@ func New(k Kernel, noise float64) *GP {
 	return &GP{Kernel: k, Noise: noise, yStd: 1}
 }
 
-// Len returns the number of fitted observations.
+// Len returns the number of observations conditioning the posterior.
 func (g *GP) Len() int { return len(g.x) }
 
-// Fit conditions the GP on (X, y). It refits the target standardization and
-// recomputes the Cholesky factor. An error is returned if the kernel matrix
-// cannot be factored even with jitter.
+// SetWindow installs the sliding-window capacity: Observe evicts the oldest
+// observation once the window is full. 0 restores unbounded retention. If
+// the current window already exceeds the new capacity the oldest points are
+// forgotten immediately.
+func (g *GP) SetWindow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.window = n
+	for g.window > 0 && len(g.x) > g.window {
+		g.Forget()
+	}
+}
+
+// SetFullRefit disables the incremental up/downdate path: every Observe and
+// Forget rebuilds the factorization from scratch. This exists for ablation
+// and debugging; the incremental path is the default.
+func (g *GP) SetFullRefit(v bool) { g.fullRefit = v }
+
+// Window returns the observations currently conditioning the posterior, in
+// window order with targets in original units. The returned slices are
+// views; callers must not modify them.
+func (g *GP) Window() (X [][]float64, y []float64) { return g.x, g.yRaw }
+
+// Observe appends one observation to the window, evicting the oldest first
+// when the window is at capacity. The Cholesky factor is extended in O(n²);
+// a full refactorization happens only if the extension loses positive
+// definiteness (jitter escalation). The error mirrors Fit's: the kernel
+// matrix could not be factored.
+func (g *GP) Observe(x []float64, y float64) error {
+	if g.window > 0 && len(g.x) >= g.window {
+		// The eviction skips restandardization: Observe restandardizes once
+		// after the extension, over the same final window.
+		g.forget(false)
+	}
+	n := len(g.x)
+	if g.fullRefit || (n > 0 && g.chol == nil) {
+		g.x = append(g.x, x)
+		g.yRaw = append(g.yRaw, y)
+		return g.refactor()
+	}
+	if n == 0 {
+		g.x = append(g.x, x)
+		g.yRaw = append(g.yRaw, y)
+		return g.refactor()
+	}
+	// Cross-covariances against the existing window, then the rank-1
+	// extension of both caches, all in place on the owned buffers.
+	g.kbuf = growBuf(g.kbuf, n)
+	k := g.kbuf
+	for i, xi := range g.x {
+		k[i] = g.Kernel.Eval(xi, x)
+	}
+	d := g.Kernel.Eval(x, x)
+	ok := linalg.ExtendCholeskyInPlace(g.chol, k, d+g.Noise, g.jitter)
+	g.x = append(g.x, x)
+	g.yRaw = append(g.yRaw, y)
+	if !ok {
+		return g.refactor()
+	}
+	g.kmat.GrowBorderInPlace(k, d)
+	g.restandardize()
+	return nil
+}
+
+// Forget evicts the oldest observation from the window in O(n²) via a
+// rank-1 update of the trailing factor block.
+func (g *GP) Forget() { g.forget(true) }
+
+func (g *GP) forget(restandardize bool) {
+	if len(g.x) == 0 {
+		return
+	}
+	g.x = g.x[1:]
+	g.yRaw = g.yRaw[1:]
+	n := len(g.x)
+	if n == 0 {
+		g.kmat, g.chol, g.alpha = nil, nil, nil
+		g.y = nil
+		return
+	}
+	if g.fullRefit || g.chol == nil {
+		_ = g.refactor()
+		return
+	}
+	g.vbuf = growBuf(g.vbuf, n)
+	linalg.DropLeadingCholeskyInPlace(g.chol, g.vbuf)
+	g.kmat.ShrinkLeadingInPlace()
+	if restandardize {
+		g.restandardize()
+	}
+}
+
+// Fit conditions the GP on (X, y), rebuilding the window, standardization
+// and factorization from scratch. It remains the entry point for window
+// construction and for conditioning on a batch; steady-state updates should
+// use Observe/Forget. If a sliding window is set, only the most recent
+// window-many points are kept.
 func (g *GP) Fit(X [][]float64, y []float64) error {
 	if len(X) != len(y) {
 		return errors.New("gp: X and y length mismatch")
 	}
+	if g.window > 0 && len(X) > g.window {
+		X = X[len(X)-g.window:]
+		y = y[len(y)-g.window:]
+	}
 	if len(X) == 0 {
-		g.x, g.y = nil, nil
-		g.chol, g.alpha = nil, nil
+		g.x, g.y, g.yRaw = nil, nil, nil
+		g.chol, g.kmat, g.alpha = nil, nil, nil
 		return nil
 	}
-	g.x = X
-	scaled, mean, std := stats.Standardize(y)
-	g.y, g.yMean, g.yStd = scaled, mean, std
+	g.x = append(g.x[:0:0], X...)
+	g.yRaw = append([]float64(nil), y...)
 	return g.refactor()
 }
 
+// refactor rebuilds the kernel-matrix cache and factorization from the
+// current window. It is the only O(n³) path; Observe/Forget reach it solely
+// through jitter escalation, hyperparameter refits, or SetFullRefit.
 func (g *GP) refactor() error {
 	n := len(g.x)
-	K := linalg.NewMatrix(n, n)
+	km := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			v := g.Kernel.Eval(g.x[i], g.x[j])
-			K.Set(i, j, v)
-			K.Set(j, i, v)
+			km.Set(i, j, v)
+			km.Set(j, i, v)
 		}
-		K.Set(i, i, K.At(i, i)+g.Noise)
 	}
-	l, err := linalg.Cholesky(K)
+	noisy := km.Clone()
+	for i := 0; i < n; i++ {
+		noisy.Set(i, i, noisy.At(i, i)+g.Noise)
+	}
+	l, jit, err := linalg.CholeskyJitter(noisy)
 	if err != nil {
 		return err
 	}
-	g.chol = l
-	g.alpha = linalg.CholSolve(l, g.y)
+	g.kmat, g.chol, g.jitter = km, l, jit
+	g.restandardize()
 	return nil
+}
+
+// restandardize refits the target standardization over the current window
+// and recomputes alpha from the existing factor — O(n²), no factorization.
+// Valid across any window/target change because the kernel matrix (and so
+// its factor) does not depend on the targets.
+func (g *GP) restandardize() {
+	// Mirrors stats.Standardize (same Mean/StdDev calls, same per-element
+	// expression) into a reused buffer, then the two triangular solves of
+	// CholSolve into reused buffers — bitwise the same alpha, no allocation
+	// at steady state.
+	n := len(g.yRaw)
+	mean := stats.Mean(g.yRaw)
+	std := stats.StdDev(g.yRaw)
+	if std == 0 {
+		std = 1
+	}
+	g.y = growBuf(g.y, n)
+	for i, x := range g.yRaw {
+		g.y[i] = (x - mean) / std
+	}
+	g.yMean, g.yStd = mean, std
+	g.solveTmp = growBuf(g.solveTmp, n)
+	g.alpha = growBuf(g.alpha, n)
+	linalg.SolveLowerInto(g.chol, g.y, g.solveTmp)
+	linalg.SolveUpperTInto(g.chol, g.solveTmp, g.alpha)
 }
 
 // Posterior returns the predictive mean and variance (of the latent
@@ -136,12 +296,55 @@ func (g *GP) PosteriorBatch(xs [][]float64) (mean []float64, cov *linalg.Matrix)
 	return mean, cov
 }
 
+// PosteriorBatchRecent returns the joint posterior over the most recent m
+// window points, sourcing every kernel value from the cached train-kernel
+// matrix — zero kernel evaluations. This is the NEI incumbent path's batch
+// posterior: within one Suggest it reuses the same cache the factor was
+// built from, so repeated calls cost only the triangular solves.
+func (g *GP) PosteriorBatchRecent(m int) (mean []float64, cov *linalg.Matrix) {
+	n := len(g.x)
+	if m > n {
+		m = n
+	}
+	mean = make([]float64, m)
+	cov = linalg.NewMatrix(m, m)
+	vMat := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		ks := g.kmat.Row(n - m + i)
+		mean[i] = linalg.Dot(ks, g.alpha)*g.yStd + g.yMean
+		vMat[i] = linalg.SolveLower(g.chol, ks)
+	}
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			c := g.kmat.At(n-m+i, n-m+j) - linalg.Dot(vMat[i], vMat[j])
+			c *= g.yStd * g.yStd
+			if i == j && c < 0 {
+				c = 0
+			}
+			cov.Set(i, j, c)
+			cov.Set(j, i, c)
+		}
+	}
+	return mean, cov
+}
+
 // SampleJoint draws nSamples correlated function values at the batch points
 // using the joint posterior and externally supplied standard-normal draws
 // (e.g. from a Sobol sequence): draws[s] must have length len(xs).
 func (g *GP) SampleJoint(xs [][]float64, draws [][]float64) [][]float64 {
 	mean, cov := g.PosteriorBatch(xs)
-	q := len(xs)
+	return sampleWithCov(mean, cov, draws)
+}
+
+// SampleJointRecent draws correlated function values at the most recent m
+// window points via the cached-kernel batch posterior.
+func (g *GP) SampleJointRecent(m int, draws [][]float64) [][]float64 {
+	mean, cov := g.PosteriorBatchRecent(m)
+	return sampleWithCov(mean, cov, draws)
+}
+
+func sampleWithCov(mean []float64, cov *linalg.Matrix, draws [][]float64) [][]float64 {
+	q := len(mean)
 	l, err := linalg.Cholesky(cov)
 	if err != nil {
 		// Degenerate covariance: fall back to independent marginals.
@@ -179,7 +382,8 @@ func (g *GP) LogMarginalLikelihood() float64 {
 // log-hyperparameters with multi-start coordinate search (robust and
 // derivative-free; the kernel matrices here are small, tens of points). The
 // GP must already be fitted; the best hyperparameters are installed and the
-// factorization refreshed.
+// factorization (and kernel-matrix cache) refreshed. This is the scheduled
+// full-refit path — per-step updates never come here.
 func (g *GP) FitHyperparameters(rng *stats.RNG, restarts int) {
 	if len(g.x) == 0 {
 		return
@@ -240,29 +444,73 @@ func (g *GP) FitHyperparameters(rng *stats.RNG, restarts int) {
 
 // LeaveOneOut returns the posterior mean and variance at x[i] of a GP
 // trained on all observations except index i — the diagnostic model the
-// paper uses for anomaly detection. The kernel hyperparameters are reused.
+// paper uses for anomaly detection. It uses the closed-form identities
+// (Rasmussen & Williams eqs. 5.10–5.12) on the existing factor: O(n²), no
+// refit. The variance is the latent (noise-free) LOO variance in original
+// units, matching Posterior's convention.
 func (g *GP) LeaveOneOut(i int) (mean, variance float64, err error) {
 	if i < 0 || i >= len(g.x) {
 		return 0, 0, errors.New("gp: leave-one-out index out of range")
 	}
-	X := make([][]float64, 0, len(g.x)-1)
-	y := make([]float64, 0, len(g.x)-1)
-	for j := range g.x {
-		if j == i {
-			continue
+	if g.chol == nil {
+		return 0, 0, errors.New("gp: leave-one-out before fit")
+	}
+	ci := cholInverseDiagAt(g.chol, i)
+	return g.looFrom(i, ci)
+}
+
+// LeaveOneOutAll returns LOO means and latent variances for every window
+// point in one pass — the residual yardstick anomaly screening refreshes on
+// each refit. O(n³)/3 total via the factor's inverse diagonal, versus the
+// O(n⁴) of refitting n leave-one-out models.
+func (g *GP) LeaveOneOutAll() (means, variances []float64) {
+	n := len(g.x)
+	means = make([]float64, n)
+	variances = make([]float64, n)
+	if n == 0 || g.chol == nil {
+		return means, variances
+	}
+	diag := linalg.CholInverseDiag(g.chol)
+	for i := 0; i < n; i++ {
+		means[i], variances[i], _ = g.looFrom(i, diag[i])
+	}
+	return means, variances
+}
+
+// looFrom converts one precision-diagonal entry into original-unit LOO
+// mean/variance: μ₋ᵢ = yᵢ − αᵢ/(K⁻¹)ᵢᵢ, σ²₋ᵢ = 1/(K⁻¹)ᵢᵢ − noise.
+func (g *GP) looFrom(i int, ci float64) (mean, variance float64, err error) {
+	if ci <= 0 || math.IsNaN(ci) {
+		return 0, 0, errors.New("gp: degenerate leave-one-out precision")
+	}
+	muStd := g.y[i] - g.alpha[i]/ci
+	varStd := 1/ci - g.Noise
+	if varStd < 0 {
+		varStd = 0
+	}
+	return muStd*g.yStd + g.yMean, varStd * g.yStd * g.yStd, nil
+}
+
+// cholInverseDiagAt returns diag(A⁻¹)ᵢ for a single index via one truncated
+// forward substitution — O(n²).
+func cholInverseDiagAt(l *linalg.Matrix, i int) float64 {
+	n := l.Rows
+	t := make([]float64, n)
+	t[i] = 1 / l.At(i, i)
+	s2 := t[i] * t[i]
+	for j := i + 1; j < n; j++ {
+		lj := l.Row(j)
+		var s float64
+		for k := i; k < j; k++ {
+			s -= lj[k] * t[k]
 		}
-		X = append(X, g.x[j])
-		y = append(y, g.y[j]*g.yStd+g.yMean)
+		t[j] = s / lj[j]
+		s2 += t[j] * t[j]
 	}
-	diag := New(g.Kernel, g.Noise)
-	if err := diag.Fit(X, y); err != nil {
-		return 0, 0, err
-	}
-	m, v := diag.Posterior(g.x[i])
-	return m, v, nil
+	return s2
 }
 
 // TrainingPoint returns observation i in original units.
 func (g *GP) TrainingPoint(i int) ([]float64, float64) {
-	return g.x[i], g.y[i]*g.yStd + g.yMean
+	return g.x[i], g.yRaw[i]
 }

@@ -1,0 +1,303 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"aquatope/internal/stats"
+)
+
+// randSPD returns a random n×n SPD matrix A = M Mᵀ + ridge·I.
+func randSPD(g *stats.RNG, n int, ridge float64) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = g.Normal(0, 1)
+	}
+	a := m.Mul(m.T())
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+ridge)
+	}
+	return a
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	var worst float64
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if math.IsNaN(d) {
+			return math.Inf(1)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestExtendCholeskyMatchesCold(t *testing.T) {
+	g := stats.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + int(g.Int63()%12)
+		a := randSPD(g, n+1, float64(n)+1)
+		lead := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			copy(lead.Row(i), a.Row(i)[:n])
+		}
+		l, jit, err := CholeskyJitter(lead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := make([]float64, n)
+		for i := 0; i < n; i++ {
+			k[i] = a.At(i, n)
+		}
+		ext, ok := ExtendCholesky(l, k, a.At(n, n), jit)
+		if !ok {
+			t.Fatalf("trial %d: extend failed", trial)
+		}
+		cold, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The extension mirrors the cold factorization's operations exactly,
+		// so when neither needed jitter the factors are bitwise equal.
+		if jit == 0 {
+			for i := range cold.Data {
+				if ext.Data[i] != cold.Data[i] {
+					t.Fatalf("trial %d: extended factor not bitwise equal at %d: %v vs %v",
+						trial, i, ext.Data[i], cold.Data[i])
+				}
+			}
+		} else if d := maxAbsDiff(ext, cold); d > 1e-9 {
+			t.Fatalf("trial %d: extended factor off by %g", trial, d)
+		}
+	}
+}
+
+func TestDropLeadingCholeskyMatchesCold(t *testing.T) {
+	g := stats.NewRNG(9)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + int(g.Int63()%12)
+		a := randSPD(g, n, float64(n))
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dropped := DropLeadingCholesky(l)
+		trail := NewMatrix(n-1, n-1)
+		for i := 1; i < n; i++ {
+			copy(trail.Row(i-1), a.Row(i)[1:])
+		}
+		cold, err := Cholesky(trail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(dropped, cold); d > 1e-9 {
+			t.Fatalf("trial %d: dropped factor off by %g", trial, d)
+		}
+	}
+}
+
+func TestRank1Update(t *testing.T) {
+	g := stats.NewRNG(13)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + int(g.Int63()%10)
+		a := randSPD(g, n, float64(n))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = g.Normal(0, 1)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Rank1Update(l, append([]float64(nil), x...))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, a.At(i, j)+x[i]*x[j])
+			}
+		}
+		cold, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(l, cold); d > 1e-8 {
+			t.Fatalf("trial %d: rank-1 updated factor off by %g", trial, d)
+		}
+	}
+}
+
+func TestCholInverseDiag(t *testing.T) {
+	g := stats.NewRNG(17)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + int(g.Int63()%10)
+		a := randSPD(g, n, float64(n))
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag := CholInverseDiag(l)
+		for i := 0; i < n; i++ {
+			e := make([]float64, n)
+			e[i] = 1
+			col := CholSolve(l, e)
+			if !approx(diag[i], col[i], 1e-9*math.Abs(col[i])+1e-12) {
+				t.Fatalf("trial %d: diag[%d] = %v, want %v", trial, i, diag[i], col[i])
+			}
+		}
+	}
+}
+
+// Sliding-window property: a long random sequence of appends and
+// evict-front operations tracked incrementally stays within 1e-9 of a cold
+// factorization of the current window's matrix.
+func TestSlidingWindowCholeskyProperty(t *testing.T) {
+	g := stats.NewRNG(21)
+	type point struct{ v []float64 }
+	var window []point
+	dim := 3
+	kernel := func(a, b []float64) float64 {
+		var d2 float64
+		for i := range a {
+			d2 += (a[i] - b[i]) * (a[i] - b[i])
+		}
+		return math.Exp(-0.5*d2) + boolNoise(a, b)
+	}
+	var l *Matrix
+	rebuild := func() *Matrix {
+		n := len(window)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, kernel(window[i].v, window[j].v))
+			}
+		}
+		cold, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cold
+	}
+	for step := 0; step < 300; step++ {
+		if len(window) > 0 && (len(window) >= 20 || g.Float64() < 0.3) {
+			window = window[1:]
+			l = DropLeadingCholesky(l)
+		} else {
+			v := make([]float64, dim)
+			for i := range v {
+				v[i] = g.Float64()
+			}
+			k := make([]float64, len(window))
+			for i, p := range window {
+				k[i] = kernel(p.v, v)
+			}
+			window = append(window, point{v})
+			if l == nil || l.Rows == 0 {
+				l = rebuild()
+			} else {
+				var ok bool
+				l, ok = ExtendCholesky(l, k, kernel(v, v), 0)
+				if !ok {
+					l = rebuild()
+				}
+			}
+		}
+		if step%17 == 0 && len(window) > 0 {
+			if d := maxAbsDiff(l, rebuild()); d > 1e-9 {
+				t.Fatalf("step %d (n=%d): incremental factor off by %g", step, len(window), d)
+			}
+		}
+	}
+}
+
+// TestInPlaceVariantsBitwiseEqual pins that the in-place extend/drop used by
+// the GP's steady-state path produce bitwise the same factors and matrices
+// as the allocating variants, across a random add/evict sequence.
+func TestInPlaceVariantsBitwiseEqual(t *testing.T) {
+	g := stats.NewRNG(33)
+	dim := 3
+	kernel := func(a, b []float64) float64 {
+		var d2 float64
+		for i := range a {
+			d2 += (a[i] - b[i]) * (a[i] - b[i])
+		}
+		return math.Exp(-0.5*d2) + boolNoise(a, b)
+	}
+	var window [][]float64
+	var lRef, lInPlace, kmRef, kmInPlace *Matrix
+	vbuf := make([]float64, 0, 64)
+	for step := 0; step < 300; step++ {
+		if len(window) > 1 && (len(window) >= 16 || g.Float64() < 0.3) {
+			window = window[1:]
+			lRef = DropLeadingCholesky(lRef)
+			DropLeadingCholeskyInPlace(lInPlace, vbuf[:cap(vbuf)])
+			n := len(window)
+			next := NewMatrix(n, n)
+			for i := 0; i < n; i++ {
+				copy(next.Row(i), kmRef.Row(i + 1)[1:])
+			}
+			kmRef = next
+			kmInPlace.ShrinkLeadingInPlace()
+		} else {
+			v := make([]float64, dim)
+			for i := range v {
+				v[i] = g.Float64()
+			}
+			k := make([]float64, len(window))
+			for i, p := range window {
+				k[i] = kernel(p, v)
+			}
+			d := kernel(v, v)
+			window = append(window, v)
+			if lRef == nil || lRef.Rows == 0 {
+				n := len(window)
+				a := NewMatrix(n, n)
+				a.Set(0, 0, d)
+				var err error
+				lRef, err = Cholesky(a.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				lInPlace = lRef.Clone()
+				kmRef, kmInPlace = a, a.Clone()
+				continue
+			}
+			var ok bool
+			lRef, ok = ExtendCholesky(lRef, k, d, 0)
+			if !ok {
+				t.Fatalf("step %d: extend failed", step)
+			}
+			if !ExtendCholeskyInPlace(lInPlace, k, d, 0) {
+				t.Fatalf("step %d: in-place extend failed", step)
+			}
+			n := len(window) - 1
+			next := NewMatrix(n+1, n+1)
+			for i := 0; i < n; i++ {
+				copy(next.Row(i)[:n], kmRef.Row(i))
+				next.Set(i, n, k[i])
+				next.Set(n, i, k[i])
+			}
+			next.Set(n, n, d)
+			kmRef = next
+			kmInPlace.GrowBorderInPlace(k, d)
+		}
+		for i := range lRef.Data {
+			if lRef.Data[i] != lInPlace.Data[i] {
+				t.Fatalf("step %d: factor diverges bitwise at %d", step, i)
+			}
+		}
+		for i := range kmRef.Data {
+			if kmRef.Data[i] != kmInPlace.Data[i] {
+				t.Fatalf("step %d: kernel cache diverges bitwise at %d", step, i)
+			}
+		}
+	}
+}
+
+// boolNoise adds observation noise on the diagonal only.
+func boolNoise(a, b []float64) float64 {
+	if &a[0] == &b[0] {
+		return 0.05
+	}
+	return 0
+}

@@ -151,30 +151,15 @@ func Dot(a, b []float64) float64 {
 // ErrNotPSD is returned when Cholesky fails even after jitter escalation.
 var ErrNotPSD = errors.New("linalg: matrix is not positive definite")
 
+var errNonSquare = errors.New("linalg: cholesky of non-square matrix")
+
 // Cholesky computes the lower-triangular L with A = L Lᵀ. If the
 // factorization fails (A only positive semi-definite due to floating-point
 // error, common with kernel matrices), it retries with exponentially growing
 // diagonal jitter starting at 1e-10 up to 1e-4 before giving up.
 func Cholesky(a *Matrix) (*Matrix, error) {
-	if a.Rows != a.Cols {
-		return nil, errors.New("linalg: cholesky of non-square matrix")
-	}
-	jitter := 0.0
-	for attempt := 0; attempt < 8; attempt++ {
-		l, ok := tryCholesky(a, jitter)
-		if ok {
-			return l, nil
-		}
-		if jitter == 0 {
-			jitter = 1e-10
-		} else {
-			jitter *= 100
-		}
-		if jitter > 1e-4 {
-			break
-		}
-	}
-	return nil, ErrNotPSD
+	l, _, err := CholeskyJitter(a)
+	return l, err
 }
 
 func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
@@ -242,6 +227,83 @@ func SolveUpperT(l *Matrix, y []float64) []float64 {
 // CholSolve solves A x = b given the Cholesky factor L of A.
 func CholSolve(l *Matrix, b []float64) []float64 {
 	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// SolveLowerInto is SolveLower writing into caller-provided y (length n),
+// allocation-free. b and y must not alias.
+func SolveLowerInto(l *Matrix, b, y []float64) {
+	n := l.Rows
+	if len(b) != n || len(y) != n {
+		panic("linalg: solve length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		s := b[i]
+		li := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= li[k] * y[k]
+		}
+		y[i] = s / li[i]
+	}
+}
+
+// SolveUpperTInto is SolveUpperT writing into caller-provided x (length n),
+// allocation-free. y and x must not alias.
+func SolveUpperTInto(l *Matrix, y, x []float64) {
+	n := l.Rows
+	if len(y) != n || len(x) != n {
+		panic("linalg: solve length mismatch")
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+}
+
+// GrowBorderInPlace extends a square matrix by one bordering row/column in
+// place: the existing block keeps its values at the wider stride, the new
+// column and row are filled with col (mirrored) and the corner with d. The
+// backing array grows only when capacity runs out, so a sliding window at
+// steady state reborders without allocating.
+func (m *Matrix) GrowBorderInPlace(col []float64, d float64) {
+	n := m.Rows
+	if m.Cols != n || len(col) != n {
+		panic("linalg: grow border shape mismatch")
+	}
+	need := (n + 1) * (n + 1)
+	if cap(m.Data) < need {
+		grown := make([]float64, need)
+		copy(grown, m.Data)
+		m.Data = grown
+	}
+	m.Data = m.Data[:need]
+	// Widen the stride from the last row down; destinations start at or past
+	// their sources, so pending rows are never clobbered.
+	for i := n - 1; i >= 1; i-- {
+		copy(m.Data[i*(n+1):i*(n+1)+n], m.Data[i*n:(i+1)*n])
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*(n+1)+n] = col[i]
+	}
+	copy(m.Data[n*(n+1):n*(n+1)+n], col)
+	m.Data[need-1] = d
+	m.Rows, m.Cols = n+1, n+1
+}
+
+// ShrinkLeadingInPlace removes row and column 0 of a square matrix in place
+// (every destination precedes its source), allocation-free.
+func (m *Matrix) ShrinkLeadingInPlace() {
+	n := m.Rows
+	if m.Cols != n || n == 0 {
+		panic("linalg: shrink shape mismatch")
+	}
+	for i := 1; i < n; i++ {
+		copy(m.Data[(i-1)*(n-1):i*(n-1)], m.Data[i*n+1:(i+1)*n])
+	}
+	m.Rows, m.Cols = n-1, n-1
+	m.Data = m.Data[:(n-1)*(n-1)]
 }
 
 // LogDetFromChol returns log|A| given the Cholesky factor L of A.

@@ -104,15 +104,20 @@ func DefaultConfig() Config {
 		// check apply to all compiled files.
 		"spanpair":  {Include: []string{"..."}},
 		"sharedmut": {Include: []string{"..."}},
-		// hotalloc is scoped to the per-event hot path the fleet-scale
-		// refactor will churn: the simulator core, the FaaS substrate and
-		// the workflow executor. Reports elsewhere (CLI table formatting,
-		// experiment harnesses) would be noise.
+		// hotalloc is scoped to the per-event hot path: the simulator core,
+		// the FaaS substrate, the workflow executor, and — since the
+		// incremental-GP engine made per-candidate cost dominated by
+		// allocation — the BO stack (linalg primitives, GP posteriors, the
+		// engine's candidate loops). Reports elsewhere (CLI table
+		// formatting, experiment harnesses) would be noise.
 		"hotalloc": {
 			Include: []string{
 				"aquatope/internal/sim/...",
 				"aquatope/internal/faas/...",
 				"aquatope/internal/workflow/...",
+				"aquatope/internal/linalg/...",
+				"aquatope/internal/gp/...",
+				"aquatope/internal/bo/...",
 			},
 		},
 	}}

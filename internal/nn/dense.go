@@ -61,7 +61,9 @@ type Dense struct {
 	W       *Param // Out×In, row-major
 	B       *Param // Out
 
-	// caches from the most recent Forward, used by Backward.
+	// caches from the most recent Forward, used by Backward. lastOut is a
+	// reusable buffer: Forward's return value stays valid only until the
+	// next Forward on this layer.
 	lastIn  []float64
 	lastOut []float64
 }
@@ -78,11 +80,13 @@ func NewDense(name string, in, out int, act Activation, rng *stats.RNG) *Dense {
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
 // Forward computes the layer output, caching activations for Backward.
+// The returned slice is a view into a per-layer buffer reused by the next
+// Forward call.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
 		panic("nn: dense input size mismatch")
 	}
-	out := make([]float64, d.Out)
+	out := grow(d.lastOut, d.Out)
 	for o := 0; o < d.Out; o++ {
 		s := d.B.W[o]
 		row := d.W.W[o*d.In : (o+1)*d.In]
@@ -139,6 +143,32 @@ func NewDropoutMask(size int, rate float64, rng *stats.RNG) DropoutMask {
 	return m
 }
 
+// ResampleDropoutMask refills m in place with a fresh mask of the given
+// size, growing the buffer only when needed. It consumes exactly the same
+// RNG draws as NewDropoutMask, so swapping one for the other is
+// stream-preserving.
+func ResampleDropoutMask(m DropoutMask, size int, rate float64, rng *stats.RNG) DropoutMask {
+	if cap(m) < size {
+		m = make(DropoutMask, size)
+	}
+	m = m[:size]
+	if rate <= 0 {
+		for i := range m {
+			m[i] = 1
+		}
+		return m
+	}
+	keep := 1 - rate
+	for i := range m {
+		if rng.Float64() < keep {
+			m[i] = 1 / keep
+		} else {
+			m[i] = 0
+		}
+	}
+	return m
+}
+
 // Apply returns x element-wise multiplied by the mask (new slice).
 func (m DropoutMask) Apply(x []float64) []float64 {
 	out := make([]float64, len(x))
@@ -146,6 +176,14 @@ func (m DropoutMask) Apply(x []float64) []float64 {
 		out[i] = x[i] * m[i]
 	}
 	return out
+}
+
+// ApplyInto writes x element-wise multiplied by the mask into dst, which
+// must have the same length as x.
+func (m DropoutMask) ApplyInto(x, dst []float64) {
+	for i := range x {
+		dst[i] = x[i] * m[i]
+	}
 }
 
 // MLP is a stack of Dense layers with optional dropout masks between them.
@@ -159,6 +197,11 @@ type MLP struct {
 	rng         *stats.RNG
 
 	masks []DropoutMask // masks used by the last forward, per hidden layer
+
+	// Reusable per-hidden-layer buffers: the mask storage behind masks and
+	// the post-dropout activations.
+	maskBufs []DropoutMask
+	hBufs    [][]float64
 }
 
 // NewMLP builds an MLP with the given layer sizes (len >= 2), hidden
@@ -192,12 +235,20 @@ func (m *MLP) Params() []*Param {
 func (m *MLP) Forward(x []float64) []float64 {
 	m.masks = m.masks[:0]
 	h := x
+	mi := 0
 	for i, l := range m.Layers {
 		h = l.Forward(h)
 		if m.Train && m.DropoutRate > 0 && i+1 < len(m.Layers) {
-			mask := NewDropoutMask(len(h), m.DropoutRate, m.rng)
-			h = mask.Apply(h)
-			m.masks = append(m.masks, mask)
+			if mi >= len(m.maskBufs) {
+				m.maskBufs = append(m.maskBufs, nil)
+				m.hBufs = append(m.hBufs, nil)
+			}
+			m.maskBufs[mi] = ResampleDropoutMask(m.maskBufs[mi], len(h), m.DropoutRate, m.rng)
+			m.hBufs[mi] = grow(m.hBufs[mi], len(h))
+			m.maskBufs[mi].ApplyInto(h, m.hBufs[mi])
+			h = m.hBufs[mi]
+			m.masks = append(m.masks, m.maskBufs[mi])
+			mi++
 		}
 	}
 	return h

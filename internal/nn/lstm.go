@@ -10,26 +10,47 @@ import (
 // variational dropout in the style of Gal & Ghahramani (2016): one input
 // mask and one recurrent mask are sampled per sequence and reused at every
 // timestep, which is the dropout scheme the paper applies to its encoder.
+//
+// Forward/backward state lives in a per-layer cache that is reused across
+// sequences: training loops run forward-then-backward per sample, so the
+// steady-state allocation count per pass is zero regardless of sequence
+// length.
 type LSTM struct {
 	In, Hidden int
 	Wx         *Param // 4H×In
 	Wh         *Param // 4H×H
 	B          *Param // 4H
 
+	// NoInputGrad skips the dL/dx computation in BackwardSeq (the returned
+	// dxs entries are nil). Set it on layers whose input gradient nobody
+	// consumes — e.g. a decoder fed constant zeros.
+	NoInputGrad bool
+
 	cache *lstmCache
 }
 
 type lstmStep struct {
-	xMasked []float64 // input after variational mask
-	hPrevM  []float64 // previous hidden after recurrent mask
+	xMasked []float64 // input after variational mask (aliases the input when unmasked)
+	hPrevM  []float64 // previous hidden after recurrent mask (aliases it when unmasked)
+	xZero   bool      // the (masked) input is exactly all-zero this step
 	i, f, g, o,
 	c, h, tanhC []float64
+	xBuf, hBuf []float64 // backing buffers for the masked views
 }
 
 type lstmCache struct {
-	steps  []lstmStep
+	steps  []lstmStep // grow-only; steps[:n] belong to the last sequence
+	n      int
 	h0, c0 []float64
 	mx, mh DropoutMask
+	hs     [][]float64 // per-step views of steps[t].h
+
+	z []float64 // 4H pre-activation scratch, shared across steps
+
+	// Backward scratch: dz plus two ping-pong pairs for (dh, dc), and the
+	// per-step input-gradient buffers handed back to the caller.
+	dz, dhA, dhB, dcA, dcB []float64
+	dxs                    [][]float64
 }
 
 // NewLSTM returns an LSTM layer with Xavier-initialized weights and a
@@ -52,74 +73,130 @@ func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
+// grow returns buf resized to n, reusing its backing array when possible.
+// Contents are unspecified.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growZero returns buf resized to n with every element zeroed.
+func growZero(buf []float64, n int) []float64 {
+	buf = grow(buf, n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func allZero(x []float64) bool {
+	for _, v := range x {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // ForwardSeq runs the layer over a time-major sequence xs with initial
 // state (h0, c0); nil initial states are treated as zeros. mx and mh are
 // optional variational dropout masks (nil disables) applied to the input
 // and the recurrent hidden state at every step. It returns the hidden state
 // at each timestep.
+//
+// The returned slices (and FinalHidden) are views into the layer's reusable
+// cache: they stay valid until the next ForwardSeq on this layer.
 func (l *LSTM) ForwardSeq(xs [][]float64, h0, c0 []float64, mx, mh DropoutMask) [][]float64 {
-	h := make([]float64, l.Hidden)
-	c := make([]float64, l.Hidden)
+	H := l.Hidden
+	cache := l.cache
+	if cache == nil {
+		cache = &lstmCache{}
+		l.cache = cache
+	}
+	cache.mx, cache.mh = mx, mh
+	cache.h0 = growZero(cache.h0, H)
+	cache.c0 = growZero(cache.c0, H)
 	if h0 != nil {
-		copy(h, h0)
+		copy(cache.h0, h0)
 	}
 	if c0 != nil {
-		copy(c, c0)
+		copy(cache.c0, c0)
 	}
-	cache := &lstmCache{h0: append([]float64(nil), h...), c0: append([]float64(nil), c...), mx: mx, mh: mh}
-	hs := make([][]float64, len(xs))
-	H := l.Hidden
+	cache.z = grow(cache.z, 4*H)
+
+	T := len(xs)
+	for len(cache.steps) < T {
+		cache.steps = append(cache.steps, lstmStep{})
+	}
+	cache.n = T
+	if cap(cache.hs) < T {
+		cache.hs = make([][]float64, T)
+	}
+	cache.hs = cache.hs[:T]
+
+	h, c := cache.h0, cache.c0
+	z := cache.z
 	for t, x := range xs {
 		if len(x) != l.In {
 			panic("nn: lstm input size mismatch")
 		}
+		st := &cache.steps[t]
+		st.i = grow(st.i, H)
+		st.f = grow(st.f, H)
+		st.g = grow(st.g, H)
+		st.o = grow(st.o, H)
+		st.c = grow(st.c, H)
+		st.h = grow(st.h, H)
+		st.tanhC = grow(st.tanhC, H)
 		xm := x
 		if mx != nil {
-			xm = mx.Apply(x)
+			st.xBuf = grow(st.xBuf, len(x))
+			mx.ApplyInto(x, st.xBuf)
+			xm = st.xBuf
 		}
 		hm := h
 		if mh != nil {
-			hm = mh.Apply(h)
+			st.hBuf = grow(st.hBuf, H)
+			mh.ApplyInto(h, st.hBuf)
+			hm = st.hBuf
 		}
-		z := make([]float64, 4*H)
+		st.xMasked, st.hPrevM = xm, hm
+		// An all-zero input (the decoder's constant feed) contributes only
+		// exact signed zeros to the pre-activations; the dot product is
+		// skipped without changing a single bit.
+		st.xZero = allZero(xm)
 		copy(z, l.B.W)
 		for r := 0; r < 4*H; r++ {
-			row := l.Wx.W[r*l.In : (r+1)*l.In]
 			s := z[r]
-			for i, xi := range xm {
-				s += row[i] * xi
+			if !st.xZero {
+				// Reslicing the row to len(xm) lets the compiler drop the
+				// per-element bounds check inside the dot product.
+				row := l.Wx.W[r*l.In : (r+1)*l.In][:len(xm)]
+				for i, xi := range xm {
+					s += row[i] * xi
+				}
 			}
-			hrow := l.Wh.W[r*H : (r+1)*H]
+			hrow := l.Wh.W[r*H : (r+1)*H][:len(hm)]
 			for i, hi := range hm {
 				s += hrow[i] * hi
 			}
 			z[r] = s
 		}
-		st := lstmStep{
-			xMasked: xm, hPrevM: hm,
-			i: make([]float64, H), f: make([]float64, H),
-			g: make([]float64, H), o: make([]float64, H),
-			c: make([]float64, H), h: make([]float64, H), tanhC: make([]float64, H),
-		}
-		newC := make([]float64, H)
-		newH := make([]float64, H)
 		for j := 0; j < H; j++ {
 			st.i[j] = sigmoid(z[j])
 			st.f[j] = sigmoid(z[H+j])
 			st.g[j] = math.Tanh(z[2*H+j])
 			st.o[j] = sigmoid(z[3*H+j])
-			newC[j] = st.f[j]*c[j] + st.i[j]*st.g[j]
-			st.tanhC[j] = math.Tanh(newC[j])
-			newH[j] = st.o[j] * st.tanhC[j]
+			st.c[j] = st.f[j]*c[j] + st.i[j]*st.g[j]
+			st.tanhC[j] = math.Tanh(st.c[j])
+			st.h[j] = st.o[j] * st.tanhC[j]
 		}
-		copy(st.c, newC)
-		copy(st.h, newH)
-		cache.steps = append(cache.steps, st)
-		h, c = newH, newC
-		hs[t] = newH
+		h, c = st.h, st.c
+		cache.hs[t] = st.h
 	}
-	l.cache = cache
-	return hs
+	return cache.hs
 }
 
 // BackwardSeq backpropagates through time. dhs[t] is dL/dh_t from the layer
@@ -127,24 +204,38 @@ func (l *LSTM) ForwardSeq(xs [][]float64, h0, c0 []float64, mx, mh DropoutMask) 
 // into the final hidden and cell state (e.g. from a decoder bridge). It
 // accumulates parameter gradients, returns dL/dx per timestep, and the
 // gradients on the initial state.
+//
+// The returned slices are views into the layer's reusable cache: they stay
+// valid until the next BackwardSeq on this layer.
 func (l *LSTM) BackwardSeq(dhs [][]float64, dhLast, dcLast []float64) (dxs [][]float64, dh0, dc0 []float64) {
 	cache := l.cache
 	if cache == nil {
 		panic("nn: BackwardSeq before ForwardSeq")
 	}
-	T := len(cache.steps)
+	T := cache.n
 	H := l.Hidden
-	dh := make([]float64, H)
-	dc := make([]float64, H)
+	cache.dz = grow(cache.dz, 4*H)
+	cache.dhA = growZero(cache.dhA, H)
+	cache.dcA = growZero(cache.dcA, H)
+	cache.dhB = grow(cache.dhB, H)
+	cache.dcB = grow(cache.dcB, H)
+	dh, dc := cache.dhA, cache.dcA
+	dhFree, dcFree := cache.dhB, cache.dcB
 	if dhLast != nil {
 		copy(dh, dhLast)
 	}
 	if dcLast != nil {
 		copy(dc, dcLast)
 	}
-	dxs = make([][]float64, T)
+	if cap(cache.dxs) < T {
+		next := make([][]float64, T)
+		copy(next, cache.dxs)
+		cache.dxs = next
+	}
+	cache.dxs = cache.dxs[:T]
+	dz := cache.dz
 	for t := T - 1; t >= 0; t-- {
-		st := cache.steps[t]
+		st := &cache.steps[t]
 		if dhs != nil && dhs[t] != nil {
 			for j := range dh {
 				dh[j] += dhs[t][j]
@@ -156,42 +247,81 @@ func (l *LSTM) BackwardSeq(dhs [][]float64, dhLast, dcLast []float64) (dxs [][]f
 		} else {
 			cPrev = cache.steps[t-1].c
 		}
-		dz := make([]float64, 4*H)
-		dcPrev := make([]float64, H)
-		for j := 0; j < H; j++ {
-			do := dh[j] * st.tanhC[j]
-			dcj := dc[j] + dh[j]*st.o[j]*(1-st.tanhC[j]*st.tanhC[j])
-			df := dcj * cPrev[j]
-			di := dcj * st.g[j]
-			dg := dcj * st.i[j]
-			dcPrev[j] = dcj * st.f[j]
-			dz[j] = di * st.i[j] * (1 - st.i[j])
-			dz[H+j] = df * st.f[j] * (1 - st.f[j])
-			dz[2*H+j] = dg * (1 - st.g[j]*st.g[j])
-			dz[3*H+j] = do * st.o[j] * (1 - st.o[j])
+		dcPrev := dcFree
+		{
+			// Common-length reslices so the gate-gradient loop runs without
+			// bounds checks.
+			tc, og, fg, ig, gg := st.tanhC[:H], st.o[:H], st.f[:H], st.i[:H], st.g[:H]
+			cp, dhv, dcv, dcp := cPrev[:H], dh[:H], dc[:H], dcPrev[:H]
+			dzi, dzf, dzg, dzo := dz[:H], dz[H:2*H], dz[2*H:3*H], dz[3*H:4*H]
+			for j := 0; j < H; j++ {
+				do := dhv[j] * tc[j]
+				dcj := dcv[j] + dhv[j]*og[j]*(1-tc[j]*tc[j])
+				df := dcj * cp[j]
+				di := dcj * gg[j]
+				dg := dcj * ig[j]
+				dcp[j] = dcj * fg[j]
+				dzi[j] = di * ig[j] * (1 - ig[j])
+				dzf[j] = df * fg[j] * (1 - fg[j])
+				dzg[j] = dg * (1 - gg[j]*gg[j])
+				dzo[j] = do * og[j] * (1 - og[j])
+			}
 		}
-		dx := make([]float64, l.In)
-		dhPrev := make([]float64, H)
+		var dx []float64
+		if !l.NoInputGrad {
+			cache.dxs[t] = growZero(cache.dxs[t], l.In)
+			dx = cache.dxs[t]
+		} else {
+			cache.dxs[t] = nil
+		}
+		dhPrev := dhFree
+		for j := range dhPrev {
+			dhPrev[j] = 0
+		}
 		for r := 0; r < 4*H; r++ {
 			gz := dz[r]
 			if gz == 0 {
 				continue
 			}
 			l.B.G[r] += gz
-			wxRow := l.Wx.W[r*l.In : (r+1)*l.In]
-			gxRow := l.Wx.G[r*l.In : (r+1)*l.In]
-			for i := 0; i < l.In; i++ {
-				gxRow[i] += gz * st.xMasked[i]
-				dx[i] += gz * wxRow[i]
+			// A zero input contributes exact zeros to the Wx gradient, so
+			// that accumulation is skipped bit-identically too.
+			if !st.xZero || dx != nil {
+				wxRow := l.Wx.W[r*l.In : (r+1)*l.In]
+				gxRow := l.Wx.G[r*l.In : (r+1)*l.In]
+				switch {
+				case st.xZero:
+					dxr := dx[:len(wxRow)]
+					for i, w := range wxRow {
+						dxr[i] += gz * w
+					}
+				case dx == nil:
+					xr := st.xMasked[:len(gxRow)]
+					for i, xi := range xr {
+						gxRow[i] += gz * xi
+					}
+				default:
+					xr := st.xMasked[:len(gxRow)]
+					dxr := dx[:len(gxRow)]
+					wxr := wxRow[:len(gxRow)]
+					for i, xi := range xr {
+						gxRow[i] += gz * xi
+						dxr[i] += gz * wxr[i]
+					}
+				}
 			}
+			// Reslicing every operand to a common length eliminates the
+			// bounds checks in the hottest loop of backprop-through-time.
 			whRow := l.Wh.W[r*H : (r+1)*H]
-			ghRow := l.Wh.G[r*H : (r+1)*H]
-			for i := 0; i < H; i++ {
-				ghRow[i] += gz * st.hPrevM[i]
-				dhPrev[i] += gz * whRow[i]
+			ghRow := l.Wh.G[r*H : (r+1)*H][:len(whRow)]
+			hpm := st.hPrevM[:len(whRow)]
+			dhp := dhPrev[:len(whRow)]
+			for i, w := range whRow {
+				ghRow[i] += gz * hpm[i]
+				dhp[i] += gz * w
 			}
 		}
-		if cache.mx != nil {
+		if dx != nil && cache.mx != nil {
 			for i := range dx {
 				dx[i] *= cache.mx[i]
 			}
@@ -201,10 +331,10 @@ func (l *LSTM) BackwardSeq(dhs [][]float64, dhLast, dcLast []float64) (dxs [][]f
 				dhPrev[i] *= cache.mh[i]
 			}
 		}
-		dxs[t] = dx
-		dh, dc = dhPrev, dcPrev
+		dh, dhFree = dhPrev, dh
+		dc, dcFree = dcPrev, dc
 	}
-	return dxs, dh, dc
+	return cache.dxs, dh, dc
 }
 
 // LSTMStack is a stack of LSTM layers (the paper's encoder uses two).
@@ -266,6 +396,5 @@ func (s *LSTMStack) BackwardSeq(dhs [][]float64, dhLast, dcLast []float64) {
 // from the most recent ForwardSeq (the latent variable Z in the paper).
 func (s *LSTMStack) FinalHidden() []float64 {
 	top := s.Layers[len(s.Layers)-1]
-	steps := top.cache.steps
-	return steps[len(steps)-1].h
+	return top.cache.steps[top.cache.n-1].h
 }

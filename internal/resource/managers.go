@@ -55,18 +55,25 @@ type BOManager struct {
 	samples  int
 }
 
+// NewBO returns a manager driving the Aquatope engine with explicit
+// options; Dim is derived from the space and need not be set. This is the
+// declarative entry point for arena configs that tune the engine's window,
+// refit schedule or cache toggles.
+func NewBO(label string, space *Space, prof *Profiler, opts bo.Options) *BOManager {
+	opts.Dim = space.Dim()
+	return &BOManager{Label: label, Space: space, Profiler: prof, Opt: bo.New(opts)}
+}
+
 // NewAquatope returns the paper's customized-BO resource manager.
 func NewAquatope(space *Space, prof *Profiler, qos float64, seed int64) *BOManager {
-	eng := bo.New(bo.Config{Dim: space.Dim(), QoS: qos, Seed: seed})
-	return &BOManager{Label: "aquatope", Space: space, Profiler: prof, Opt: eng}
+	return NewBO("aquatope", space, prof, bo.Options{QoS: qos, Seed: seed})
 }
 
 // NewAquaLite returns the noise-unaware ablation: plain EI, no anomaly
 // pruning (Fig. 15's AquaLite).
 func NewAquaLite(space *Space, prof *Profiler, qos float64, seed int64) *BOManager {
-	eng := bo.New(bo.Config{Dim: space.Dim(), QoS: qos, Seed: seed,
+	return NewBO("aqualite", space, prof, bo.Options{QoS: qos, Seed: seed,
 		Acquisition: bo.EI, DisableAnomalyDetection: true})
-	return &BOManager{Label: "aqualite", Space: space, Profiler: prof, Opt: eng}
 }
 
 // NewCLITE returns the CLITE baseline manager.

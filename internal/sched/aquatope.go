@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"aquatope/internal/bo"
 	"aquatope/internal/pool"
 	"aquatope/internal/resource"
 	"aquatope/internal/trace"
@@ -16,7 +17,10 @@ func init() {
 				desc: Describe("aquatope"),
 				pool: &bnnPool{name: "aquatope", opts: o},
 				conf: &boConf{name: "aquatope", opts: o, build: func(space *resource.Space, prof *resource.Profiler, qos float64, seed int64) resource.Manager {
-					return resource.NewAquatope(space, prof, qos, seed)
+					b := o.BO
+					b.QoS = qos
+					b.Seed = seed
+					return resource.NewBO("aquatope", space, prof, b)
 				}},
 			}
 		})
@@ -29,7 +33,12 @@ func init() {
 				desc: Describe("aqualite"),
 				pool: &bnnPool{name: "aqualite", opts: o},
 				conf: &boConf{name: "aqualite", opts: o, build: func(space *resource.Space, prof *resource.Profiler, qos float64, seed int64) resource.Manager {
-					return resource.NewAquaLite(space, prof, qos, seed)
+					b := o.BO
+					b.QoS = qos
+					b.Seed = seed
+					b.Acquisition = bo.EI
+					b.DisableAnomalyDetection = true
+					return resource.NewBO("aqualite", space, prof, b)
 				}},
 			}
 		})

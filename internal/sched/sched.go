@@ -87,6 +87,13 @@ type Options struct {
 	// candidate configuration to estimate the latency distribution
 	// (default 3).
 	SamplesPerCandidate int
+	// BO declaratively tunes the customized-BO engine behind the
+	// aquatope/aqualite configurator: kernel, acquisition, batch shape,
+	// sliding window, refit-every-k schedule and cache toggles. Dim, QoS
+	// and Seed are filled per application; the zero value reproduces the
+	// engine defaults (and aqualite still forces EI + no anomaly pruning
+	// on top of it).
+	BO bo.Options
 	// Meter, when non-nil, accrues deterministic decision-work accounting
 	// for this scheduler instance (the arena's per-decision latency
 	// column).
