@@ -53,6 +53,17 @@ microbench:
 # and the reports must byte-compare equal (aquatrace itself exits nonzero
 # if phase attribution drifts past 1% of measured latency). The summary
 # lands in smoke_analysis.json for CI to archive.
+#
+# Finally the kill-restore leg drives the crash-safe serving loop end to
+# end: record a stream, run an uninterrupted -serve reference (the
+# scripted controller kill left inert via -ignore-crash), run the same
+# serve with the kill armed — identical flags including the dump flags,
+# since the config digest covers whether tracing is on — it must exit
+# 137 mid-run writing no dumps (asserted), leaving only
+# boundary checkpoints and the durable journal — then restore from the
+# checkpoint directory and byte-compare the resumed run's span/metric
+# dumps against the reference (DESIGN.md §15's restore-equals-
+# uninterrupted contract, checked through the real binary).
 smoke:
 	$(GO) run ./cmd/aquabench -exp overload -scale quick -parallel 2 > .smoke_p2.txt
 	$(GO) run ./cmd/aquabench -exp overload -scale quick -parallel 1 > .smoke_p1.txt
@@ -66,5 +77,28 @@ smoke:
 		-json smoke_analysis.json > .smoke_a1.txt
 	$(GO) run ./cmd/aquatrace -trace .smoke_spans.jsonl -metrics .smoke_metrics.json > .smoke_a2.txt
 	cmp .smoke_a1.txt .smoke_a2.txt
-	rm -f .smoke_p1.txt .smoke_p2.txt .smoke_arena_p1.txt .smoke_arena_p2.txt \
-		.smoke_a1.txt .smoke_a2.txt .smoke_spans.jsonl .smoke_metrics.json
+	$(GO) build -o .smoke_aquatope ./cmd/aquatope
+	./.smoke_aquatope -app chain -minutes 20 -seed 3 -emit-stream .smoke_stream.jsonl > /dev/null
+	./.smoke_aquatope -serve -stream .smoke_stream.jsonl -checkpoint-dir .smoke_ck_ref \
+		-app chain -minutes 20 -train 5 -budget 2 -system keepalive -seed 3 \
+		-chaos kill-restore -ignore-crash \
+		-trace-out .smoke_ref_spans.jsonl -metrics-out .smoke_ref_metrics.json > /dev/null
+	./.smoke_aquatope -serve -stream .smoke_stream.jsonl -checkpoint-dir .smoke_ck \
+		-app chain -minutes 20 -train 5 -budget 2 -system keepalive -seed 3 \
+		-chaos kill-restore \
+		-trace-out .smoke_crash_spans.jsonl -metrics-out .smoke_crash_metrics.json \
+		> /dev/null 2>&1; test $$? -eq 137
+	test ! -e .smoke_crash_spans.jsonl && test ! -e .smoke_crash_metrics.json
+	./.smoke_aquatope -serve -stream .smoke_stream.jsonl -checkpoint-dir .smoke_ck \
+		-restore .smoke_ck \
+		-app chain -minutes 20 -train 5 -budget 2 -system keepalive -seed 3 \
+		-chaos kill-restore \
+		-trace-out .smoke_restore_spans.jsonl -metrics-out .smoke_restore_metrics.json > /dev/null
+	cmp .smoke_ref_spans.jsonl .smoke_restore_spans.jsonl
+	cmp .smoke_ref_metrics.json .smoke_restore_metrics.json
+	rm -rf .smoke_p1.txt .smoke_p2.txt .smoke_arena_p1.txt .smoke_arena_p2.txt \
+		.smoke_a1.txt .smoke_a2.txt .smoke_spans.jsonl .smoke_metrics.json \
+		.smoke_aquatope .smoke_stream.jsonl .smoke_ck_ref .smoke_ck \
+		.smoke_crash_spans.jsonl .smoke_crash_metrics.json \
+		.smoke_ref_spans.jsonl .smoke_ref_metrics.json \
+		.smoke_restore_spans.jsonl .smoke_restore_metrics.json

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -27,6 +29,7 @@ import (
 	"aquatope/internal/obs"
 	"aquatope/internal/pool"
 	"aquatope/internal/sched"
+	"aquatope/internal/serve"
 	"aquatope/internal/socialgraph"
 	"aquatope/internal/telemetry"
 	"aquatope/internal/trace"
@@ -65,7 +68,15 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write telemetry spans as JSONL to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metric registry snapshot as JSON to this file")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry over HTTP on this address (/metrics Prometheus text, /analysis aquatrace JSON); keeps the process alive after the run until interrupted")
+	serveFlag := flag.Bool("serve", false, "run the crash-safe serving loop: ingest arrivals from -stream, checkpoint every decision interval")
+	streamFlag := flag.String("stream", "", "arrival stream for -serve: a JSONL file, '-' for stdin, or unix:SOCKETPATH")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for -serve journal + checkpoints (empty = checkpointing off)")
+	restoreFlag := flag.String("restore", "", "restore a -serve run from this checkpoint file or directory (implies -serve; requires the original flags)")
+	emitStream := flag.String("emit-stream", "", "write the synthesized trace as a JSONL arrival stream to this file and exit (input for -serve -stream)")
+	ignoreCrash := flag.Bool("ignore-crash", false, "leave controller-crash chaos faults inert in -serve mode (reference runs)")
+	pace := flag.Float64("pace", 0, "-serve wall-clock pacing: virtual seconds per wall second (0 = as fast as possible)")
 	flag.Parse()
+	serveMode := *serveFlag || *restoreFlag != ""
 
 	app := buildApp(*appName, *seed)
 	if app == nil {
@@ -83,6 +94,15 @@ func main() {
 		BurstMultiplier:      6,
 		Seed:                 *seed,
 	})
+
+	if *emitStream != "" {
+		if err := serve.WriteStreamFile(*emitStream, app.Name, tr.Arrivals); err != nil {
+			fmt.Fprintln(os.Stderr, "writing stream:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d arrivals for %s to %s\n", len(tr.Arrivals), app.Name, *emitStream)
+		return
+	}
 
 	cfg := core.Config{
 		Components:   []core.Component{{App: app, Trace: tr}},
@@ -136,13 +156,15 @@ func main() {
 			}
 		})
 	}
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigs
-		dump()
-		os.Exit(130)
-	}()
+	if !serveMode {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			dump()
+			os.Exit(130)
+		}()
+	}
 
 	var srv *telemetryServer
 	if *telemetryAddr != "" {
@@ -188,6 +210,26 @@ func main() {
 		}
 	}
 
+	if serveMode {
+		runServe(serveRun{
+			app:           app,
+			cfg:           cfg,
+			label:         label,
+			minutes:       *minutes,
+			stream:        *streamFlag,
+			checkpointDir: *checkpointDir,
+			restore:       *restoreFlag,
+			ignoreCrash:   *ignoreCrash,
+			pace:          *pace,
+			budget:        *budget,
+			chaosOn:       *chaosName != "",
+			collector:     collector,
+			registry:      registry,
+			dump:          dump,
+		})
+		return
+	}
+
 	fmt.Printf("running %s under %s: %d invocations over %d min (train %d min)\n",
 		app.Name, label, len(tr.Arrivals), *minutes, *trainMin)
 	res, err := core.Run(cfg)
@@ -196,28 +238,7 @@ func main() {
 		dump()
 		os.Exit(1)
 	}
-	ar := res.PerApp[app.Name]
-	fmt.Printf("\nworkflows completed:   %d\n", ar.Workflows)
-	fmt.Printf("QoS (%.2fs) violations: %.1f%%\n", app.QoS, ar.ViolationRate()*100)
-	if *chaosName != "" {
-		fmt.Printf("  latency violations:  %d\n", ar.LatencyViolations)
-		fmt.Printf("  failure violations:  %d\n", ar.FailureViolations)
-		fmt.Printf("goodput:               %.1f%%\n", res.Goodput()*100)
-		fmt.Printf("retries / hedges:      %d / %d\n", ar.Retries, ar.Hedges)
-	}
-	fmt.Printf("cold-start rate:       %.1f%%\n", res.ColdStartRate()*100)
-	fmt.Printf("mean latency:          %.2fs\n", ar.MeanLatency)
-	fmt.Printf("latency p50/p95/p99:   %.2fs / %.2fs / %.2fs\n", ar.P50, ar.P95, ar.P99)
-	fmt.Printf("CPU time:              %.1f core-s\n", ar.CPUTime)
-	fmt.Printf("memory time:           %.1f GB-s\n", ar.MemTime)
-	fmt.Printf("provisioned memory:    %.1f GB-s\n", res.ProvisionedMemGBs)
-	if len(ar.ChosenConfig) > 0 {
-		fmt.Println("\nchosen configuration:")
-		for _, fn := range app.FunctionNames() {
-			c := ar.ChosenConfig[fn]
-			fmt.Printf("  %-16s cpu=%.2g mem=%.0fMB\n", fn, c.CPU, c.MemoryMB)
-		}
-	}
+	printResult(app, res, *chaosName != "")
 
 	dump()
 	if srv != nil {
@@ -275,6 +296,178 @@ func serveTelemetry(addr string, reg *telemetry.Registry) (*telemetryServer, err
 		}
 	}()
 	return s, nil
+}
+
+// printResult renders the end-of-run summary shared by batch and serve
+// modes.
+func printResult(app *apps.App, res core.Result, chaosOn bool) {
+	ar := res.PerApp[app.Name]
+	fmt.Printf("\nworkflows completed:   %d\n", ar.Workflows)
+	fmt.Printf("QoS (%.2fs) violations: %.1f%%\n", app.QoS, ar.ViolationRate()*100)
+	if chaosOn {
+		fmt.Printf("  latency violations:  %d\n", ar.LatencyViolations)
+		fmt.Printf("  failure violations:  %d\n", ar.FailureViolations)
+		fmt.Printf("goodput:               %.1f%%\n", res.Goodput()*100)
+		fmt.Printf("retries / hedges:      %d / %d\n", ar.Retries, ar.Hedges)
+	}
+	fmt.Printf("cold-start rate:       %.1f%%\n", res.ColdStartRate()*100)
+	fmt.Printf("mean latency:          %.2fs\n", ar.MeanLatency)
+	fmt.Printf("latency p50/p95/p99:   %.2fs / %.2fs / %.2fs\n", ar.P50, ar.P95, ar.P99)
+	fmt.Printf("CPU time:              %.1f core-s\n", ar.CPUTime)
+	fmt.Printf("memory time:           %.1f GB-s\n", ar.MemTime)
+	fmt.Printf("provisioned memory:    %.1f GB-s\n", res.ProvisionedMemGBs)
+	if len(ar.ChosenConfig) > 0 {
+		fmt.Println("\nchosen configuration:")
+		for _, fn := range app.FunctionNames() {
+			c := ar.ChosenConfig[fn]
+			fmt.Printf("  %-16s cpu=%.2g mem=%.0fMB\n", fn, c.CPU, c.MemoryMB)
+		}
+	}
+}
+
+// serveRun carries everything the serving-mode entry point needs from main.
+type serveRun struct {
+	app           *apps.App
+	cfg           core.Config
+	label         string
+	minutes       int
+	stream        string
+	checkpointDir string
+	restore       string
+	ignoreCrash   bool
+	pace          float64
+	budget        int
+	chaosOn       bool
+	collector     *telemetry.Collector
+	registry      *telemetry.Registry
+	dump          func()
+}
+
+// openStream resolves the -stream argument: a JSONL file path, '-' for
+// stdin, or unix:SOCKETPATH to listen on a unix socket and serve the first
+// connection (backpressure is the socket's: a full buffer blocks the
+// producer).
+func openStream(spec string) (io.ReadCloser, error) {
+	switch {
+	case spec == "":
+		return nil, fmt.Errorf("-serve requires -stream (file, '-', or unix:PATH)")
+	case spec == "-":
+		return io.NopCloser(os.Stdin), nil
+	case strings.HasPrefix(spec, "unix:"):
+		path := strings.TrimPrefix(spec, "unix:")
+		ln, err := net.Listen("unix", path)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "listening for arrival stream on %s\n", path)
+		conn, err := ln.Accept()
+		_ = ln.Close() //aqualint:allow droppederr one-shot listener; the accepted conn is the stream
+		if err != nil {
+			return nil, err
+		}
+		return conn, nil
+	default:
+		return os.Open(spec)
+	}
+}
+
+// runServe is the crash-safe live mode: it builds (or restores) a
+// serving loop over the arrival stream, checkpoints every interval
+// boundary, and maps outcomes to exit codes — 0 on completion, 130 after
+// a graceful signal stop (dumps flushed), 137 when a scripted controller
+// crash fired (no dumps: the checkpoint and journal are the survivors).
+func runServe(r serveRun) {
+	opts := serve.Options{
+		Apps:           []*apps.App{r.app},
+		TrainMin:       r.cfg.TrainMin,
+		HorizonMin:     r.minutes,
+		PoolFactory:    r.cfg.PoolFactory,
+		ManagerFactory: r.cfg.ManagerFactory,
+		Scheduler:      r.cfg.Scheduler,
+		SearchBudget:   r.budget,
+		ProfileNoise:   r.cfg.ProfileNoise,
+		RuntimeNoise:   r.cfg.RuntimeNoise,
+		Chaos:          r.cfg.Chaos,
+		ArmCrash:       r.restore == "" && !r.ignoreCrash && !r.cfg.Chaos.Empty(),
+		Resilience:     r.cfg.Resilience,
+		Tracer:         r.collector,
+		Registry:       r.registry,
+		CheckpointDir:  r.checkpointDir,
+		Pace:           r.pace,
+		Seed:           r.cfg.Seed,
+	}
+
+	reader, err := openStream(r.stream)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stream:", err)
+		os.Exit(2)
+	}
+	defer reader.Close() //aqualint:allow droppederr read-only stream; process exits right after
+
+	var s *serve.Server
+	var src *serve.Source
+	if r.restore != "" {
+		path, err := serve.LatestCheckpoint(r.restore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restore:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "restoring from %s (verified replay)\n", path)
+		s, err = serve.Restore(opts, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restore:", err)
+			os.Exit(1)
+		}
+		src, err = s.ResumeSource(reader)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restore:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "replayed %d journaled records through boundary %d; resuming live\n",
+			s.Ingested(), s.Boundary())
+	} else {
+		s, err = serve.New(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		src = serve.NewSource(reader)
+	}
+
+	// First signal: graceful stop — the loop flushes a final checkpoint
+	// and we write the usual dumps. Second signal: force exit; checkpoint
+	// writes are atomic, so the last good checkpoint survives.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "stopping: flushing final checkpoint (signal again to force exit)")
+		s.RequestStop()
+		// A quiet stream leaves the loop blocked in a read; closing the
+		// reader unblocks it so the stop is honored promptly.
+		_ = reader.Close() //aqualint:allow droppederr closing to interrupt a blocked read; error is immaterial
+		<-sigs
+		os.Exit(130)
+	}()
+
+	fmt.Printf("serving %s under %s over %s (interval checkpoints in %s)\n",
+		r.app.Name, r.label, r.stream, r.checkpointDir)
+	switch err := s.Run(src); {
+	case errors.Is(err, serve.ErrCrashed):
+		fmt.Fprintln(os.Stderr, "controller crash fault fired; exiting without dumps (journal + checkpoints survive)")
+		os.Exit(137)
+	case errors.Is(err, serve.ErrStopped):
+		fmt.Fprintf(os.Stderr, "stopped at boundary %d after %d records; final checkpoint flushed\n",
+			s.Boundary(), s.Ingested())
+		r.dump()
+		os.Exit(130)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "serve failed:", err)
+		r.dump()
+		os.Exit(1)
+	}
+	printResult(r.app, s.Result(), r.chaosOn)
+	r.dump()
 }
 
 func aquaPool(lite bool) core.PolicyFactory {

@@ -1,0 +1,60 @@
+package bayesnn
+
+import (
+	"aquatope/internal/checkpoint"
+	"aquatope/internal/nn"
+)
+
+// allParams returns every trainable parameter in a fixed architecture
+// order. Snapshot and Restore iterate this list, so the order is part of
+// the snapshot format.
+func (m *Model) allParams() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.encoder.Params()...)
+	ps = append(ps, m.bridgeH.Params()...)
+	ps = append(ps, m.decoder.Params()...)
+	ps = append(ps, m.decOut.Params()...)
+	ps = append(ps, m.pred.Params()...)
+	return ps
+}
+
+// Snapshot serializes the model completely: RNG position (MC-dropout masks
+// draw from it, so the stream offset is state), every weight tensor, and
+// the standardization/uncertainty scalars fitted by Train. The scratch
+// buffers are excluded — they are fully overwritten before each use.
+func (m *Model) Snapshot(enc *checkpoint.Encoder) {
+	enc.String("bayesnn")
+	m.rng.Snapshot(enc)
+	nn.SnapshotParams(enc, m.allParams())
+	enc.F64(m.yMean)
+	enc.F64(m.yStd)
+	enc.F64s(m.extMean)
+	enc.F64s(m.extStd)
+	enc.F64(m.histMean)
+	enc.F64(m.histStd)
+	enc.F64(m.residStd)
+	enc.F64(m.dispersion)
+	enc.Bool(m.trained)
+}
+
+// Restore loads a snapshot produced by Snapshot into a model built from the
+// same Config (New with identical dimensions).
+func (m *Model) Restore(dec *checkpoint.Decoder) error {
+	dec.Expect("bayesnn")
+	if err := m.rng.Restore(dec); err != nil {
+		return err
+	}
+	if err := nn.RestoreParams(dec, m.allParams()); err != nil {
+		return err
+	}
+	m.yMean = dec.F64()
+	m.yStd = dec.F64()
+	m.extMean = dec.F64s()
+	m.extStd = dec.F64s()
+	m.histMean = dec.F64()
+	m.histStd = dec.F64()
+	m.residStd = dec.F64()
+	m.dispersion = dec.F64()
+	m.trained = dec.Bool()
+	return dec.Err()
+}

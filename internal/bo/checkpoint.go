@@ -1,0 +1,82 @@
+package bo
+
+import "aquatope/internal/checkpoint"
+
+// Snapshot serializes the engine: RNG position, the observation set with
+// anomaly flags, both GP surrogates, and the refit bookkeeping. The Options
+// are configuration, not state — a restored engine must be built from the
+// same Options, which the serving layer's config digest enforces.
+func (e *Engine) Snapshot(enc *checkpoint.Encoder) {
+	enc.String("bo")
+	e.rng.Snapshot(enc)
+	enc.U64(uint64(len(e.obs)))
+	for _, o := range e.obs {
+		enc.F64s(o.X)
+		enc.F64(o.Cost)
+		enc.F64(o.Latency)
+	}
+	enc.Bools(e.anomalous)
+	e.costGP.Snapshot(enc)
+	e.latGP.Snapshot(enc)
+	enc.Bool(e.fitted)
+	enc.Bool(e.synced)
+	enc.F64(e.costResidScale)
+	enc.F64(e.latResidScale)
+	enc.Int(e.changeEvents)
+	enc.Int(e.sinceRefit)
+	enc.Int(e.iter)
+	enc.F64(e.lastAcq)
+}
+
+// Restore loads a snapshot into an engine built from the same Options.
+func (e *Engine) Restore(dec *checkpoint.Decoder) error {
+	dec.Expect("bo")
+	if err := e.rng.Restore(dec); err != nil {
+		return err
+	}
+	n := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	obs := make([]Observation, 0, n)
+	for i := uint64(0); i < n; i++ {
+		o := Observation{X: dec.F64s(), Cost: dec.F64(), Latency: dec.F64()}
+		if len(o.X) != e.cfg.Dim {
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			return checkpoint.ErrShape
+		}
+		obs = append(obs, o)
+	}
+	anomalous := dec.Bools()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if uint64(len(anomalous)) != n && !(anomalous == nil && n == 0) {
+		return checkpoint.ErrShape
+	}
+	if err := e.costGP.Restore(dec); err != nil {
+		return err
+	}
+	if err := e.latGP.Restore(dec); err != nil {
+		return err
+	}
+	e.fitted = dec.Bool()
+	e.synced = dec.Bool()
+	e.costResidScale = dec.F64()
+	e.latResidScale = dec.F64()
+	e.changeEvents = dec.Int()
+	e.sinceRefit = dec.Int()
+	e.iter = dec.Int()
+	e.lastAcq = dec.F64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		obs = nil
+	}
+	e.obs = obs
+	e.anomalous = anomalous
+	return nil
+}

@@ -1,0 +1,80 @@
+package bo
+
+import (
+	"bytes"
+	"testing"
+
+	"aquatope/internal/checkpoint"
+	"aquatope/internal/stats"
+)
+
+func testOpts() Options {
+	return Options{Dim: 2, QoS: 2.0, BatchSize: 2, Bootstrap: 2, Seed: 41,
+		CandidatePool: 32, FantasySamples: 4, Window: 12}
+}
+
+func driveEngine(e *Engine, rng *stats.RNG, rounds int) {
+	for i := 0; i < rounds; i++ {
+		batch := e.Suggest()
+		obs := make([]Observation, 0, len(batch))
+		for _, x := range batch {
+			obs = append(obs, Observation{
+				X:       x,
+				Cost:    1 + x[0] + 0.1*rng.Float64(),
+				Latency: 1.5 + x[1] + 0.1*rng.Float64(),
+			})
+		}
+		e.Observe(obs)
+	}
+}
+
+// TestEngineSnapshotRoundTrip proves the BO engine restores to an
+// indistinguishable state: identical re-snapshot bytes and an identical
+// suggestion trajectory afterwards.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	opts := testOpts()
+	ref := New(opts)
+	driveEngine(ref, stats.NewRNG(5), 4)
+
+	enc := checkpoint.NewEncoder()
+	ref.Snapshot(enc)
+
+	clone := New(opts)
+	if err := clone.Restore(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	enc2 := checkpoint.NewEncoder()
+	clone.Snapshot(enc2)
+	if !bytes.Equal(enc.Bytes(), enc2.Bytes()) {
+		t.Fatal("re-snapshot differs")
+	}
+
+	// Continue both with the same observation stream: suggestions and
+	// internal state must stay identical.
+	rngA, rngB := stats.NewRNG(6), stats.NewRNG(6)
+	driveEngine(ref, rngA, 3)
+	driveEngine(clone, rngB, 3)
+	a, b := checkpoint.NewEncoder(), checkpoint.NewEncoder()
+	ref.Snapshot(a)
+	clone.Snapshot(b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trajectories diverged after restore")
+	}
+}
+
+func TestEngineRestoreRejectsCorrupt(t *testing.T) {
+	ref := New(testOpts())
+	driveEngine(ref, stats.NewRNG(5), 3)
+	enc := checkpoint.NewEncoder()
+	ref.Snapshot(enc)
+	data := enc.Bytes()
+
+	if err := New(testOpts()).Restore(checkpoint.NewDecoder(data[:len(data)-7])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	wrong := testOpts()
+	wrong.Dim = 3
+	if err := New(wrong).Restore(checkpoint.NewDecoder(data)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

@@ -41,6 +41,14 @@ const (
 	// workload, driving the platform through and past saturation. Function
 	// targets one function; empty round-robins over every registered one.
 	KindBurst Kind = "burst"
+	// KindCrash kills the controller process itself at At — the fault the
+	// crash-safe serving loop (internal/serve) exists to survive. The
+	// injector invokes its registered crash hook (see SetOnCrash); with no
+	// hook armed the event is inert. The event emits no telemetry span and
+	// is always scheduled even when inert, so a killed-and-restored run and
+	// an uninterrupted reference run see identical engine event sequences —
+	// the byte-identity contract depends on it.
+	KindCrash Kind = "controller-crash"
 )
 
 // Fault is one scripted fault episode.
@@ -82,7 +90,17 @@ type Injector struct {
 
 	// curRates accumulates overlapping fault-rate windows.
 	curRates faas.FaultRates
+
+	// onCrash, when set, is invoked by KindCrash faults (it does not
+	// return in a real kill; tests panic a sentinel). Nil leaves the
+	// fault inert.
+	onCrash func()
 }
+
+// SetOnCrash registers the controller-kill hook driven by KindCrash faults.
+// Restored and reference runs leave it unset so the scripted kill fires as
+// a no-op.
+func (in *Injector) SetOnCrash(fn func()) { in.onCrash = fn }
 
 // New returns an injector for the scenario, emitting chaos.fault spans to
 // the cluster's tracer.
@@ -113,6 +131,15 @@ func (in *Injector) Arm() {
 func (in *Injector) fire(f Fault) {
 	eng := in.cl.Engine()
 	now := eng.Now()
+	if f.Kind == KindCrash {
+		// No span: the dumps of a crashed process are discarded, and the
+		// inert firing in restored/reference runs must not add telemetry
+		// that the checkpointed prefix of the killed run lacked.
+		if in.onCrash != nil {
+			in.onCrash()
+		}
+		return
+	}
 	span := in.tracer.StartSpan(telemetry.KindChaosFault, string(f.Kind), 0, now)
 	end := func(fields telemetry.Fields) {
 		if span != 0 {
@@ -201,7 +228,7 @@ func (in *Injector) fire(f Fault) {
 // -chaos CLI flag), in stable order.
 func Names() []string {
 	return []string{"invoker-crash", "container-churn", "stragglers", "mixed",
-		"overload", "overload-crash", "random"}
+		"overload", "overload-crash", "kill-restore", "random"}
 }
 
 // Builtin returns a named scenario scaled to a run horizon (seconds).
@@ -249,6 +276,16 @@ func Builtin(name string, horizon float64, seed int64) (scn Scenario, ok bool) {
 		return Scenario{Name: name, Faults: []Fault{
 			{Kind: KindBurst, At: 0.30 * h, Duration: 0.30 * h, Rate: 4},
 			{Kind: KindInvokerCrash, At: 0.40 * h, Duration: 0.15 * h, Invoker: 1},
+		}}, true
+	case "kill-restore":
+		// The overload-crash script plus a controller kill in the middle
+		// of the surge: the worst moment to lose the controller's learned
+		// state. Serve-mode runs arm a crash hook; batch runs and restored
+		// runs leave the kill inert.
+		return Scenario{Name: name, Faults: []Fault{
+			{Kind: KindBurst, At: 0.30 * h, Duration: 0.30 * h, Rate: 4},
+			{Kind: KindInvokerCrash, At: 0.40 * h, Duration: 0.15 * h, Invoker: 1},
+			{Kind: KindCrash, At: 0.55 * h},
 		}}, true
 	case "random":
 		return Random(h, 6, 1, seed), true

@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through the container parser. The
+// contract under fuzz: Decode never panics, and anything it accepts
+// re-encodes to the exact input (so a decoded File can stand in for the
+// file it came from — no silent partial restore). The committed seed corpus
+// in testdata/fuzz/FuzzDecode covers a valid file plus truncated,
+// bit-flipped and version-skewed variants; `go test -fuzz=FuzzDecode
+// ./internal/checkpoint` explores from there.
+func FuzzDecode(f *testing.F) {
+	valid := sampleFile().Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("AQCP"))
+	f.Add([]byte("AQCP\x01\x00\x00\x00"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	empty := (&File{}).Encode()
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			if got != nil {
+				t.Fatal("Decode returned both a file and an error")
+			}
+			return
+		}
+		if !bytes.Equal(got.Encode(), data) {
+			t.Fatalf("accepted input does not re-encode identically (%d bytes)", len(data))
+		}
+	})
+}
+
+// FuzzDecoder drives arbitrary bytes through every primitive read to prove
+// the value codec never panics regardless of read sequence.
+func FuzzDecoder(f *testing.F) {
+	enc := NewEncoder()
+	enc.U64(99)
+	enc.String("seed")
+	enc.F64s([]float64{1, 2})
+	f.Add(enc.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		d.U64()
+		d.I64()
+		d.Bool()
+		d.F64()
+		_ = d.String()
+		d.Blob()
+		d.F64s()
+		d.I64s()
+		d.Bools()
+		d.Expect("x")
+		d.Done()
+	})
+}

@@ -1,0 +1,94 @@
+package gp
+
+import (
+	"aquatope/internal/checkpoint"
+	"aquatope/internal/linalg"
+)
+
+// Snapshot serializes the complete posterior state: kernel hyperparameters,
+// the observation window (raw and standardized), and the cached kernel
+// matrix, Cholesky factor, jitter level and alpha vector. Persisting the
+// factor (rather than a re-factorization recipe) keeps restore exact even
+// though the incremental up/downdate path makes the factor depend on the
+// whole Observe/Forget history, not just the current window.
+func (g *GP) Snapshot(enc *checkpoint.Encoder) {
+	enc.String("gp")
+	enc.F64s(g.Kernel.Hyperparameters())
+	enc.F64(g.Noise)
+	enc.Int(g.window)
+	enc.Bool(g.fullRefit)
+	enc.U64(uint64(len(g.x)))
+	for _, xi := range g.x {
+		enc.F64s(xi)
+	}
+	enc.F64s(g.yRaw)
+	enc.F64s(g.y)
+	enc.F64(g.yMean)
+	enc.F64(g.yStd)
+	linalg.SnapshotMatrix(enc, g.kmat)
+	linalg.SnapshotMatrix(enc, g.chol)
+	enc.F64(g.jitter)
+	enc.F64s(g.alpha)
+}
+
+// Restore loads a snapshot into a GP built with the same kernel family and
+// dimensionality. Scratch buffers are left alone — every use overwrites
+// them.
+func (g *GP) Restore(dec *checkpoint.Decoder) error {
+	dec.Expect("gp")
+	hyper := dec.F64s()
+	noise := dec.F64()
+	window := dec.Int()
+	fullRefit := dec.Bool()
+	n := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(hyper) != len(g.Kernel.Hyperparameters()) || window < 0 {
+		return checkpoint.ErrShape
+	}
+	x := make([][]float64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		x = append(x, dec.F64s())
+	}
+	yRaw := dec.F64s()
+	y := dec.F64s()
+	yMean := dec.F64()
+	yStd := dec.F64()
+	kmat, err := linalg.RestoreMatrix(dec)
+	if err != nil {
+		return err
+	}
+	chol, err := linalg.RestoreMatrix(dec)
+	if err != nil {
+		return err
+	}
+	jitter := dec.F64()
+	alpha := dec.F64s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if uint64(len(yRaw)) != n || uint64(len(y)) != n || uint64(len(alpha)) != n {
+		return checkpoint.ErrShape
+	}
+	if n > 0 && (kmat == nil || chol == nil || kmat.Rows != int(n) || chol.Rows != int(n)) {
+		return checkpoint.ErrShape
+	}
+	g.Kernel.SetHyperparameters(hyper)
+	g.Noise = noise
+	g.window = window
+	g.fullRefit = fullRefit
+	if n == 0 {
+		x = nil
+	}
+	g.x = x
+	g.yRaw = yRaw
+	g.y = y
+	g.yMean = yMean
+	g.yStd = yStd
+	g.kmat = kmat
+	g.chol = chol
+	g.jitter = jitter
+	g.alpha = alpha
+	return nil
+}

@@ -1,0 +1,84 @@
+package gp
+
+import (
+	"bytes"
+	"testing"
+
+	"aquatope/internal/checkpoint"
+	"aquatope/internal/stats"
+)
+
+func trainedGP(t *testing.T, seed int64) *GP {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	g := New(NewMatern52(2), 0.01)
+	g.SetWindow(9)
+	for i := 0; i < 25; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if err := g.Observe(x, x[0]+rng.Normal(0, 0.05)); err != nil {
+			t.Fatalf("observe: %v", err)
+		}
+	}
+	return g
+}
+
+func TestGPSnapshotRoundTrip(t *testing.T) {
+	g := trainedGP(t, 11)
+	enc := checkpoint.NewEncoder()
+	g.Snapshot(enc)
+
+	clone := New(NewMatern52(2), 0.5) // divergent noise; Restore overwrites
+	if err := clone.Restore(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// The restored GP must be indistinguishable: identical snapshot bytes
+	// and an identical trajectory under further updates.
+	enc2 := checkpoint.NewEncoder()
+	clone.Snapshot(enc2)
+	if !bytes.Equal(enc.Bytes(), enc2.Bytes()) {
+		t.Fatal("re-snapshot differs")
+	}
+	for i := 0; i < 8; i++ {
+		x := []float64{0.1 * float64(i), 0.05 * float64(i)}
+		if err := g.Observe(x, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := clone.Observe(x, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		gm, gv := g.Posterior(x)
+		cm, cv := clone.Posterior(x)
+		if gm != cm || gv != cv {
+			t.Fatalf("step %d: trajectories diverged: (%v,%v) vs (%v,%v)", i, gm, gv, cm, cv)
+		}
+	}
+}
+
+func TestGPSnapshotEmpty(t *testing.T) {
+	g := New(NewRBF(1), 0.01)
+	enc := checkpoint.NewEncoder()
+	g.Snapshot(enc)
+	clone := New(NewRBF(1), 0.01)
+	if err := clone.Restore(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Len() != 0 || clone.chol != nil {
+		t.Fatal("restored empty GP is not empty")
+	}
+}
+
+func TestGPRestoreRejectsMismatch(t *testing.T) {
+	g := trainedGP(t, 3)
+	enc := checkpoint.NewEncoder()
+	g.Snapshot(enc)
+	// Wrong kernel dimensionality: hyperparameter count differs.
+	wrongDim := New(NewMatern52(5), 0.01)
+	if err := wrongDim.Restore(checkpoint.NewDecoder(enc.Bytes())); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Truncated snapshot.
+	data := enc.Bytes()
+	if err := New(NewMatern52(2), 0.01).Restore(checkpoint.NewDecoder(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

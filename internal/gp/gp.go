@@ -147,6 +147,10 @@ func (g *GP) forget(restandardize bool) {
 	if n == 0 {
 		g.kmat, g.chol, g.alpha = nil, nil, nil
 		g.y = nil
+		// Reset the jitter along with the caches: an empty GP must be
+		// indistinguishable from a fresh one, and a stale jitter would
+		// poison the first incremental extension (window-size-1 edge).
+		g.jitter = 0
 		return
 	}
 	if g.fullRefit || g.chol == nil {
@@ -177,6 +181,7 @@ func (g *GP) Fit(X [][]float64, y []float64) error {
 	if len(X) == 0 {
 		g.x, g.y, g.yRaw = nil, nil, nil
 		g.chol, g.kmat, g.alpha = nil, nil, nil
+		g.jitter = 0 // empty must equal fresh (see forget)
 		return nil
 	}
 	g.x = append(g.x[:0:0], X...)

@@ -1,0 +1,39 @@
+package linalg
+
+import "aquatope/internal/checkpoint"
+
+// SnapshotMatrix serializes a matrix (nil allowed) shape-first.
+func SnapshotMatrix(enc *checkpoint.Encoder, m *Matrix) {
+	if m == nil {
+		enc.Bool(false)
+		return
+	}
+	enc.Bool(true)
+	enc.Int(m.Rows)
+	enc.Int(m.Cols)
+	enc.F64s(m.Data)
+}
+
+// RestoreMatrix reads a matrix serialized by SnapshotMatrix.
+func RestoreMatrix(dec *checkpoint.Decoder) (*Matrix, error) {
+	present := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	rows := dec.Int()
+	cols := dec.Int()
+	data := dec.F64s()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		return nil, checkpoint.ErrShape
+	}
+	if data == nil {
+		data = []float64{}
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}

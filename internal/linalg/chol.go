@@ -60,10 +60,19 @@ func CholeskyJitter(a *Matrix) (*Matrix, float64, error) {
 // It runs in O(n²). ok is false when the Schur complement is not positive —
 // the caller should fall back to a cold factorization with jitter
 // escalation. L is not modified.
+//
+// Extending an empty factor (n == 0) ignores jitter: there is no existing
+// factorization to stay consistent with, and a cold factorization of a 1×1
+// matrix starts at jitter 0 — applying a stale caller-side jitter here
+// would silently diverge from the cold path (the window-size-1 edge of a
+// sliding window that just dropped to empty).
 func ExtendCholesky(l *Matrix, k []float64, d, jitter float64) (*Matrix, bool) {
 	n := l.Rows
 	if len(k) != n {
 		panic("linalg: extend length mismatch")
+	}
+	if n == 0 {
+		jitter = 0
 	}
 	out := NewMatrix(n+1, n+1)
 	for i := 0; i < n; i++ {
@@ -97,11 +106,16 @@ func ExtendCholesky(l *Matrix, k []float64, d, jitter float64) (*Matrix, bool) {
 // allocates) and the new row is computed exactly as ExtendCholesky would,
 // producing a bitwise-identical factor. On ok=false the factor has been
 // restructured and is no longer valid — the caller must refactor from
-// scratch, which is what the failure demands anyway.
+// scratch, which is what the failure demands anyway. Like ExtendCholesky,
+// extending an empty factor ignores jitter to match a cold 1×1
+// factorization.
 func ExtendCholeskyInPlace(l *Matrix, k []float64, d, jitter float64) bool {
 	n := l.Rows
 	if len(k) != n {
 		panic("linalg: extend length mismatch")
+	}
+	if n == 0 {
+		jitter = 0
 	}
 	need := (n + 1) * (n + 1)
 	if cap(l.Data) < need {

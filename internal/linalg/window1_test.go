@@ -1,0 +1,89 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExtendFromEmptyIgnoresJitter pins the window-size-1 edge: extending
+// an empty factor must match a cold 1×1 factorization (which starts at
+// jitter 0) even when the caller passes a stale jitter from a previous,
+// larger factorization.
+func TestExtendFromEmptyIgnoresJitter(t *testing.T) {
+	const d = 2.5
+	cold, err := Cholesky(FromRows([][]float64{{d}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jitter := range []float64{0, 1e-10, 1e-6, 1e-4} {
+		out, ok := ExtendCholesky(NewMatrix(0, 0), nil, d, jitter)
+		if !ok {
+			t.Fatalf("jitter %g: extend failed", jitter)
+		}
+		if out.Rows != 1 || out.Cols != 1 || out.At(0, 0) != cold.At(0, 0) {
+			t.Fatalf("jitter %g: extend-from-empty %v != cold %v",
+				jitter, out.At(0, 0), cold.At(0, 0))
+		}
+		ip := NewMatrix(0, 0)
+		if !ExtendCholeskyInPlace(ip, nil, d, jitter) {
+			t.Fatalf("jitter %g: in-place extend failed", jitter)
+		}
+		if ip.Rows != 1 || ip.At(0, 0) != cold.At(0, 0) {
+			t.Fatalf("jitter %g: in-place extend-from-empty %v != cold %v",
+				jitter, ip.At(0, 0), cold.At(0, 0))
+		}
+	}
+}
+
+// TestDropToEmptyThenExtendEqualsCold drives the full window-1 cycle at the
+// linalg layer: factor a 1×1, drop to 0×0, extend back to 1×1 — the result
+// must equal a cold factorization of the new point, through both the
+// allocating and in-place variants.
+func TestDropToEmptyThenExtendEqualsCold(t *testing.T) {
+	l, err := Cholesky(FromRows([][]float64{{4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := DropLeadingCholesky(l)
+	if dropped.Rows != 0 || dropped.Cols != 0 || len(dropped.Data) != 0 {
+		t.Fatalf("drop 1x1 -> %dx%d", dropped.Rows, dropped.Cols)
+	}
+	const d2 = 9.0
+	out, ok := ExtendCholesky(dropped, nil, d2, 1e-5)
+	if !ok {
+		t.Fatal("extend after drop failed")
+	}
+	if out.At(0, 0) != math.Sqrt(d2) {
+		t.Fatalf("extend after drop: %v != %v", out.At(0, 0), math.Sqrt(d2))
+	}
+
+	ip, err := Cholesky(FromRows([][]float64{{4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, 1)
+	DropLeadingCholeskyInPlace(ip, v)
+	if ip.Rows != 0 || len(ip.Data) != 0 {
+		t.Fatalf("in-place drop 1x1 -> %dx%d", ip.Rows, ip.Cols)
+	}
+	if !ExtendCholeskyInPlace(ip, nil, d2, 1e-5) {
+		t.Fatal("in-place extend after drop failed")
+	}
+	if ip.At(0, 0) != math.Sqrt(d2) {
+		t.Fatalf("in-place extend after drop: %v != %v", ip.At(0, 0), math.Sqrt(d2))
+	}
+}
+
+// TestShrinkLeading1x1 exercises the 1×1 → 0×0 matrix shrink and the
+// matching grow-back, the kmat side of the window-1 cycle.
+func TestShrinkLeading1x1(t *testing.T) {
+	m := FromRows([][]float64{{7}})
+	m.ShrinkLeadingInPlace()
+	if m.Rows != 0 || m.Cols != 0 || len(m.Data) != 0 {
+		t.Fatalf("shrink 1x1 -> %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.GrowBorderInPlace(nil, 11)
+	if m.Rows != 1 || m.At(0, 0) != 11 {
+		t.Fatalf("grow back: %dx%d %v", m.Rows, m.Cols, m.Data)
+	}
+}

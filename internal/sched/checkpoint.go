@@ -1,0 +1,23 @@
+package sched
+
+import "aquatope/internal/checkpoint"
+
+// Snapshot serializes the decision-overhead meter — the registry wrapper's
+// only mutable state.
+func (m *Meter) Snapshot(enc *checkpoint.Encoder) {
+	enc.String("sched.meter")
+	enc.Int(m.PoolDecisions)
+	enc.F64(m.PoolEvals)
+	enc.Int(m.ConfigDecisions)
+	enc.F64(m.ConfigProfiles)
+}
+
+// Restore loads meter state saved by Snapshot.
+func (m *Meter) Restore(dec *checkpoint.Decoder) error {
+	dec.Expect("sched.meter")
+	m.PoolDecisions = dec.Int()
+	m.PoolEvals = dec.F64()
+	m.ConfigDecisions = dec.Int()
+	m.ConfigProfiles = dec.F64()
+	return dec.Err()
+}

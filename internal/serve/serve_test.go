@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aquatope/internal/apps"
+	"aquatope/internal/chaos"
+	"aquatope/internal/core"
+	"aquatope/internal/faas"
+	"aquatope/internal/pool"
+	"aquatope/internal/telemetry"
+	"aquatope/internal/trace"
+	"aquatope/internal/workflow"
+)
+
+// fixtureStream synthesizes the arrival stream every test run replays.
+func fixtureStream(t *testing.T, minutes int, seed int64) []Record {
+	t.Helper()
+	tr := trace.Synthesize(trace.GenConfig{
+		DurationMin:    minutes,
+		MeanRatePerMin: 5,
+		Diurnal:        0.5,
+		CV:             1.5,
+		Seed:           seed,
+	})
+	recs := make([]Record, 0, len(tr.Arrivals))
+	for _, at := range tr.Arrivals {
+		recs = append(recs, Record{T: at, App: "chain2"})
+	}
+	if len(recs) < 10 {
+		t.Fatalf("fixture trace too thin: %d arrivals", len(recs))
+	}
+	return recs
+}
+
+func sourceOf(t *testing.T, recs []Record) *Source {
+	t.Helper()
+	var buf bytes.Buffer
+	arr := make([]float64, len(recs))
+	for i, r := range recs {
+		arr[i] = r.T
+	}
+	if err := WriteStream(&buf, "chain2", arr); err != nil {
+		t.Fatal(err)
+	}
+	return NewSource(bytes.NewReader(buf.Bytes()))
+}
+
+// fixtureOpts builds the chaos+overload-armed serving configuration: the
+// kill-restore scenario (demand surge + invoker loss + controller kill),
+// bounded queues, the resilience layer, the pool guard, and the hybrid
+// Bayesian pool policy at test scale.
+func fixtureOpts(t *testing.T, dir string, armCrash bool) Options {
+	t.Helper()
+	const minutes = 20
+	app := apps.NewChain(2)
+	scn, ok := chaos.Builtin("kill-restore", float64(minutes)*60, 7)
+	if !ok {
+		t.Fatal("kill-restore scenario missing")
+	}
+	pol := workflow.DefaultRetryPolicy()
+	pol.Timeout = app.QoS
+	return Options{
+		Apps:           []*apps.App{app},
+		TrainMin:       5,
+		HorizonMin:     minutes,
+		PoolFactory:    testPoolFactory(),
+		ManagerFactory: core.AquatopeManagerFactory(),
+		SearchBudget:   3,
+		ProfileNoise:   faas.Noise{GaussianStd: 0.15, OutlierRate: 0.02, OutlierScale: 3},
+		RuntimeNoise:   faas.Noise{GaussianStd: 0.1, OutlierRate: 0.01, OutlierScale: 3},
+		ClusterCfg:     faas.Config{Invokers: 4, QueueLimit: 8},
+		Chaos:          scn,
+		ArmCrash:       armCrash,
+		Resilience:     &pol,
+		PoolGuard:      &pool.Guard{},
+		Tracer:         telemetry.NewCollector(),
+		Registry:       telemetry.NewRegistry(),
+		CheckpointDir:  dir,
+		Seed:           7,
+	}
+}
+
+func testPoolFactory() core.PolicyFactory {
+	return func(fn string) pool.Policy {
+		cfg := pool.DefaultModelConfig(trace.FeatureDim)
+		cfg.EncoderHidden = 10
+		cfg.PredHidden = []int{10, 6}
+		cfg.EncoderEpochs = 4
+		cfg.PredEpochs = 10
+		cfg.MCSamples = 6
+		cfg.LR = 0.01
+		return &pool.Aquatope{ModelConfig: cfg, Window: 20, HeadroomZ: 2}
+	}
+}
+
+// dumps renders the run's trace and metrics exactly as the CLI would.
+func dumps(t *testing.T, o Options) (spans, metrics []byte) {
+	t.Helper()
+	var sb, mb bytes.Buffer
+	if err := o.Tracer.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Registry.WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.Bytes(), mb.Bytes()
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRestoreEqualsUninterrupted is the tentpole acceptance test: under
+// the kill-restore chaos script (surge + invoker loss + controller kill),
+// a run killed mid-surge and restored from any boundary checkpoint must
+// produce byte-identical span and metric dumps to an uninterrupted
+// reference run.
+func TestRestoreEqualsUninterrupted(t *testing.T) {
+	recs := fixtureStream(t, 20, 7)
+
+	// Uninterrupted reference: crash fault fires inert (hook not armed).
+	refOpts := fixtureOpts(t, t.TempDir(), false)
+	ref, err := New(refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(sourceOf(t, recs)); err != nil {
+		t.Fatal(err)
+	}
+	wantSpans, wantMetrics := dumps(t, refOpts)
+	if len(wantSpans) == 0 || len(wantMetrics) == 0 {
+		t.Fatal("reference dumps empty")
+	}
+
+	// Killed run: the armed KindCrash fault unwinds the loop mid-surge.
+	crashDir := t.TempDir()
+	crashOpts := fixtureOpts(t, crashDir, true)
+	crashed, err := New(crashOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crashed.Run(sourceOf(t, recs)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash run returned %v, want ErrCrashed", err)
+	}
+	lastK := crashed.Boundary()
+	if lastK < 5 {
+		t.Fatalf("crash came too early for a meaningful test: only %d boundaries", lastK)
+	}
+	if _, err := os.Stat(filepath.Join(crashDir, checkpointName(lastK))); err != nil {
+		t.Fatalf("last boundary checkpoint missing: %v", err)
+	}
+
+	// Restore from three distinct boundaries — early, mid, and the last
+	// checkpoint before the kill — and run each to completion. Every
+	// resume works on a private copy of the crash state so the journals
+	// do not cross-contaminate.
+	for _, k := range []int{2, lastK / 2, lastK} {
+		k := k
+		t.Run(fmt.Sprintf("boundary-%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			copyDir(t, crashDir, dir)
+			opts := fixtureOpts(t, dir, false)
+			s, err := Restore(opts, filepath.Join(dir, checkpointName(k)))
+			if err != nil {
+				t.Fatalf("restore from boundary %d: %v", k, err)
+			}
+			src, err := s.ResumeSource(streamReader(t, recs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(src); err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			gotSpans, gotMetrics := dumps(t, opts)
+			if !bytes.Equal(gotSpans, wantSpans) {
+				t.Errorf("span dump diverged from uninterrupted run (%d vs %d bytes)",
+					len(gotSpans), len(wantSpans))
+			}
+			if !bytes.Equal(gotMetrics, wantMetrics) {
+				t.Errorf("metric dump diverged from uninterrupted run (%d vs %d bytes)",
+					len(gotMetrics), len(wantMetrics))
+			}
+		})
+	}
+}
+
+func streamReader(t *testing.T, recs []Record) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	arr := make([]float64, len(recs))
+	for i, r := range recs {
+		arr[i] = r.T
+	}
+	if err := WriteStream(&buf, "chain2", arr); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+// TestRestoreRejectsDigestMismatch: a checkpoint only restores against the
+// exact options of the run that cut it.
+func TestRestoreRejectsDigestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	opts := fixtureOpts(t, dir, true)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := fixtureStream(t, 20, 7)
+	if err := s.Run(sourceOf(t, recs)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	wrong := fixtureOpts(t, dir, false)
+	wrong.Seed = 8
+	if _, err := Restore(wrong, filepath.Join(dir, checkpointName(2))); err == nil {
+		t.Fatal("digest mismatch accepted")
+	}
+}

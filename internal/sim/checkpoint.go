@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"sort"
+
+	"aquatope/internal/checkpoint"
+)
+
+// Snapshot serializes the engine's verifiable state: clock, sequence
+// counter, processed-event count, and a digest of the pending queue as the
+// sorted (at, seq, canceled) schedule. Event callbacks are closures and
+// cannot be serialized — the engine is a replay-derived component: restore
+// rebuilds it by re-running the input stream, and this snapshot is the
+// fingerprint the restorer byte-compares to prove the rebuilt engine is in
+// the identical state (same clock, same event identities in the same order).
+func (e *Engine) Snapshot(enc *checkpoint.Encoder) {
+	enc.String("sim")
+	enc.F64(e.now)
+	enc.U64(e.seq)
+	enc.U64(e.events)
+	enc.Int(e.live)
+	pend := make([]*Event, 0, len(e.queue))
+	for _, ev := range e.queue {
+		pend = append(pend, ev)
+	}
+	sort.Slice(pend, func(i, j int) bool {
+		if pend[i].at != pend[j].at {
+			return pend[i].at < pend[j].at
+		}
+		return pend[i].seq < pend[j].seq
+	})
+	enc.U64(uint64(len(pend)))
+	for _, ev := range pend {
+		enc.F64(ev.at)
+		enc.U64(ev.seq)
+		enc.Bool(ev.canceled)
+	}
+}

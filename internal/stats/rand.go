@@ -9,12 +9,54 @@ import (
 // workload generators need. Every stochastic component in the repository owns
 // an RNG seeded explicitly so experiments are reproducible.
 type RNG struct {
-	r *rand.Rand
+	r    *rand.Rand
+	src  *countingSource
+	seed int64
+}
+
+// countingSource wraps the math/rand source and counts every draw, making
+// the generator's position in its stream observable. Because rand.Rand's
+// samplers (NormFloat64, ExpFloat64, Intn, ...) hold no state beyond the
+// source — rejection loops just draw again — (seed, draw count) captures
+// the RNG exactly: replaying that many draws on a fresh source lands on the
+// identical state.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
 }
 
 // NewRNG returns a deterministic RNG for the given seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &RNG{r: rand.New(src), src: src, seed: seed}
+}
+
+// Pos returns the seed and the number of source draws consumed so far —
+// the complete serializable state of the generator.
+func (g *RNG) Pos() (seed int64, draws uint64) { return g.seed, g.src.n }
+
+// Skip advances the generator by n source draws. NewRNG(seed) followed by
+// Skip(draws) reconstructs the exact state reported by Pos.
+func (g *RNG) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		g.src.src.Int63()
+	}
+	g.src.n += n
 }
 
 // Float64 returns a uniform sample in [0,1).

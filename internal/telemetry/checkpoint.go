@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"bytes"
+
+	"aquatope/internal/checkpoint"
+)
+
+// SnapshotTo serializes the registry as its canonical JSON export (map keys
+// sorted by encoding/json, so equal state yields equal bytes). Telemetry is
+// replay-derived state: the restorer re-derives counters by re-running the
+// input stream and byte-compares this section to prove the rebuilt registry
+// matches the checkpointed one. (Named SnapshotTo because Snapshot is the
+// registry's long-standing JSON export API.)
+func (r *Registry) SnapshotTo(enc *checkpoint.Encoder) {
+	enc.String("telemetry.registry")
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		// The JSON encoder cannot fail on Snapshot's map/float payload;
+		// record the error text defensively so a mismatch surfaces.
+		enc.String("error: " + err.Error())
+		return
+	}
+	enc.Blob(buf.Bytes())
+}
+
+// SnapshotTo serializes the collected spans as the canonical JSONL dump —
+// exactly the bytes the exit-path trace dump would produce at this instant.
+// Like the registry, spans are replay-derived and verified by byte
+// comparison on restore.
+func (c *Collector) SnapshotTo(enc *checkpoint.Encoder) {
+	enc.String("telemetry.spans")
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		enc.String("error: " + err.Error())
+		return
+	}
+	enc.Blob(buf.Bytes())
+}

@@ -1,0 +1,41 @@
+package workflow
+
+import (
+	"aquatope/internal/checkpoint"
+	"aquatope/internal/stats"
+)
+
+// Snapshot serializes the executor's mutable state: the retry-jitter RNG
+// stream, including whether its lazy initialization has happened (an
+// initialized-at-zero-draws stream and an uninitialized one are different
+// states only in object identity, but capturing the flag keeps the digest
+// an exact structural fingerprint). In-flight workflow state machines hold
+// completion closures and are replay-derived.
+func (e *Executor) Snapshot(enc *checkpoint.Encoder) {
+	enc.String("workflow.executor")
+	enc.I64(e.Seed)
+	enc.Bool(e.rng != nil)
+	if e.rng != nil {
+		e.rng.Snapshot(enc)
+	}
+}
+
+// Restore loads executor state saved by Snapshot.
+func (e *Executor) Restore(dec *checkpoint.Decoder) error {
+	dec.Expect("workflow.executor")
+	seed := dec.I64()
+	hasRNG := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	e.Seed = seed
+	if hasRNG {
+		e.rng = stats.NewRNG(0) //aqualint:allow seedflow placeholder state; Restore overwrites it with the snapshot's seed and position
+		if err := e.rng.Restore(dec); err != nil {
+			return err
+		}
+	} else {
+		e.rng = nil
+	}
+	return nil
+}
